@@ -1,0 +1,83 @@
+// Ablation: execution strategies for the GPIVOT operator itself (the
+// paper's §8/§9 "optimization and execution of GPIVOT in RDBMS" angle).
+// Compares
+//   * Hash      — the library's single-pass hash implementation,
+//   * Reference — the literal Eq. 3 composition (p selections + p-1 full
+//                 outer joins), i.e. what a non-native engine would run,
+//   * Parallel  — the §4.3 local/global split at 2 and 8 partitions,
+// over the TPC-H lineitem pivot while the number of output combos grows.
+#include <benchmark/benchmark.h>
+
+#include "core/gpivot.h"
+#include "core/parallel.h"
+#include "tpch/dbgen.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gpivot::bench {
+namespace {
+
+const Table& Lineitem() {
+  static const Table* const kTable = [] {
+    tpch::Config config;
+    config.scale_factor = 0.02;
+    config.max_initial_lines = 7;
+    return new Table(tpch::Generate(config).lineitem);
+  }();
+  return *kTable;
+}
+
+PivotSpec SpecWithCombos(int num_combos) {
+  PivotSpec spec;
+  spec.pivot_by = {"linenumber"};
+  spec.pivot_on = {"quantity", "extendedprice"};
+  for (int l = 1; l <= num_combos; ++l) {
+    spec.combos.push_back({Value::Int(l)});
+  }
+  return spec;
+}
+
+void BM_Hash(benchmark::State& state) {
+  PivotSpec spec = SpecWithCombos(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = GPivot(Lineitem(), spec);
+    GPIVOT_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+  state.counters["rows_out"] =
+      static_cast<double>(GPivot(Lineitem(), spec)->num_rows());
+}
+
+void BM_Reference(benchmark::State& state) {
+  PivotSpec spec = SpecWithCombos(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = GPivotReference(Lineitem(), spec);
+    GPIVOT_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+}
+
+void BM_Parallel(benchmark::State& state) {
+  PivotSpec spec = SpecWithCombos(static_cast<int>(state.range(0)));
+  size_t partitions = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto result = GPivotParallel(Lineitem(), spec, partitions);
+    GPIVOT_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+}
+
+}  // namespace
+}  // namespace gpivot::bench
+
+BENCHMARK(gpivot::bench::BM_Hash)
+    ->Arg(2)->Arg(4)->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(gpivot::bench::BM_Reference)
+    ->Arg(2)->Arg(4)->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(gpivot::bench::BM_Parallel)
+    ->Args({7, 2})->Args({7, 8})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

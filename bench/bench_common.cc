@@ -1,0 +1,141 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "ivm/view_manager.h"
+#include "tpch/views.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gpivot::bench {
+
+namespace {
+
+constexpr double kView2PriceThreshold = 30000.0;
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+Result<PlanPtr> BuildView(ViewId view, const Catalog& catalog,
+                          const tpch::Config& config) {
+  switch (view) {
+    case ViewId::kView1:
+      return tpch::View1(catalog, config.max_line_numbers);
+    case ViewId::kView2:
+      return tpch::View2(catalog, config.max_line_numbers,
+                         kView2PriceThreshold);
+    case ViewId::kView3:
+      return tpch::View3(catalog, config.first_year, config.num_years);
+  }
+  return Status::Internal("unknown view");
+}
+
+Result<ivm::SourceDeltas> MakeWorkload(const Catalog& catalog,
+                                       const tpch::Config& config,
+                                       WorkloadKind kind, double fraction,
+                                       uint64_t seed) {
+  switch (kind) {
+    case WorkloadKind::kDelete:
+      return tpch::MakeLineitemDeletes(catalog, fraction, seed);
+    case WorkloadKind::kInsertUpdates:
+      return tpch::MakeLineitemInsertsUpdatesOnly(catalog, config, fraction,
+                                                  seed);
+    case WorkloadKind::kInsertNew:
+      return tpch::MakeLineitemInsertsNewKeys(catalog, config, fraction,
+                                              seed);
+    case WorkloadKind::kInsertMixed:
+      return tpch::MakeLineitemInsertsMixed(catalog, config, fraction, seed);
+  }
+  return Status::Internal("unknown workload");
+}
+
+void RunRefresh(benchmark::State& state, ViewId view,
+                ivm::RefreshStrategy strategy, WorkloadKind kind,
+                double fraction) {
+  const BenchContext& context = SharedContext();
+  const bool verify = std::getenv("GPIVOT_BENCH_VERIFY") != nullptr;
+  size_t view_rows = 0;
+  size_t delta_rows = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    tpch::Data copy = context.data;  // fresh base tables per iteration
+    auto catalog = tpch::MakeCatalog(std::move(copy));
+    GPIVOT_CHECK(catalog.ok()) << catalog.status().ToString();
+    auto query = BuildView(view, *catalog, context.config);
+    GPIVOT_CHECK(query.ok()) << query.status().ToString();
+    ivm::ViewManager manager(std::move(*catalog));
+    Status defined = manager.DefineView("v", *query, strategy);
+    GPIVOT_CHECK(defined.ok()) << defined.ToString();
+    auto deltas = MakeWorkload(manager.catalog(), context.config, kind,
+                               fraction, 0xBEEF + state.iterations());
+    GPIVOT_CHECK(deltas.ok()) << deltas.status().ToString();
+    const ivm::Delta& lineitem_delta = deltas->at("lineitem");
+    delta_rows = lineitem_delta.inserts.num_rows() +
+                 lineitem_delta.deletes.num_rows();
+    state.ResumeTiming();
+
+    // Timed: the propagate + apply phases only. The base-table advance is
+    // identical across strategies and excluded, as in the paper.
+    Status refreshed = manager.RefreshViews(*deltas);
+
+    state.PauseTiming();
+    GPIVOT_CHECK(refreshed.ok()) << refreshed.ToString();
+    Status advanced = manager.AdvanceBase(*deltas);
+    GPIVOT_CHECK(advanced.ok()) << advanced.ToString();
+    view_rows = manager.GetView("v").value()->num_rows();
+    if (verify) {
+      auto recomputed = manager.RecomputeFromScratch("v");
+      GPIVOT_CHECK(recomputed.ok()) << recomputed.status().ToString();
+      GPIVOT_CHECK(recomputed->BagEquals(
+          manager.GetView("v").value()->table()))
+          << "verification failed for "
+          << ivm::RefreshStrategyToString(strategy);
+    }
+    state.ResumeTiming();
+  }
+  state.counters["view_rows"] = static_cast<double>(view_rows);
+  state.counters["delta_rows"] = static_cast<double>(delta_rows);
+}
+
+}  // namespace
+
+const BenchContext& SharedContext() {
+  static const BenchContext* const kContext = [] {
+    auto* context = new BenchContext();
+    context->config.scale_factor = EnvDouble("GPIVOT_BENCH_SF", 0.02);
+    context->config.seed = static_cast<uint64_t>(
+        EnvDouble("GPIVOT_BENCH_SEED", 20050405));
+    context->data = tpch::Generate(context->config);
+    return context;
+  }();
+  return *kContext;
+}
+
+const std::vector<double>& Fractions() {
+  static const std::vector<double>* const kFractions =
+      new std::vector<double>{0.01, 0.02, 0.04, 0.06, 0.08, 0.10};
+  return *kFractions;
+}
+
+void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
+                    const std::vector<ivm::RefreshStrategy>& strategies) {
+  for (ivm::RefreshStrategy strategy : strategies) {
+    for (double fraction : Fractions()) {
+      std::string name =
+          StrCat(figure_name, "/", ivm::RefreshStrategyToString(strategy),
+                 "/pct:", static_cast<int>(fraction * 100));
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [view, strategy, kind, fraction](benchmark::State& state) {
+            RunRefresh(state, view, strategy, kind, fraction);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace gpivot::bench

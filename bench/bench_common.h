@@ -1,0 +1,47 @@
+#ifndef GPIVOT_BENCH_BENCH_COMMON_H_
+#define GPIVOT_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "algebra/plan.h"
+#include "ivm/maintenance.h"
+#include "tpch/dbgen.h"
+
+namespace gpivot::bench {
+
+// The three experiment views of §7 (Figs. 32, 36, 39).
+enum class ViewId { kView1, kView2, kView3 };
+
+// The delta workloads on lineitem that form each figure's x-axis.
+enum class WorkloadKind {
+  kDelete,         // Fig. 33 / 37 / 40
+  kInsertUpdates,  // Fig. 34 (inserts that only update view rows)
+  kInsertNew,      // Fig. 35 (inserts that only insert view rows)
+  kInsertMixed,    // Fig. 38 / 41
+};
+
+// Shared generated database. Scale factor comes from the environment
+// variable GPIVOT_BENCH_SF (default 0.01 ≈ 1.5k customers / 15k orders /
+// ~50k lineitems); seed from GPIVOT_BENCH_SEED.
+struct BenchContext {
+  tpch::Config config;
+  tpch::Data data;
+};
+const BenchContext& SharedContext();
+
+// Registers one google-benchmark per (strategy, fraction): each run builds
+// a fresh view under `strategy`, generates the workload delta at that
+// fraction of lineitem, and times ViewManager::ApplyUpdate (propagate +
+// apply + base-table advance). Set GPIVOT_BENCH_VERIFY=1 to additionally
+// compare the refreshed view against full recomputation (unmeasured).
+void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
+                    const std::vector<ivm::RefreshStrategy>& strategies);
+
+// Delta fractions of the lineitem table (the paper sweeps 1%–10%).
+const std::vector<double>& Fractions();
+
+}  // namespace gpivot::bench
+
+#endif  // GPIVOT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,20 @@
+// Fig. 33: maintenance of View 1 (non-aggregate, Fig. 32) under deletions
+// of 1–10% of lineitem. Compares full recomputation, the Fig. 22
+// insert/delete rules (pivot left intermediate), and the Fig. 23 update
+// rules after GPIVOT pullup. Expected shape: Update ≪ InsertDelete ≪
+// FullRecompute, with Update growing roughly linearly in the delta.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using gpivot::bench::RegisterFigure;
+  using gpivot::bench::ViewId;
+  using gpivot::bench::WorkloadKind;
+  using gpivot::ivm::RefreshStrategy;
+  RegisterFigure("Fig33/View1Delete", ViewId::kView1, WorkloadKind::kDelete,
+                 {RefreshStrategy::kFullRecompute,
+                  RefreshStrategy::kInsertDelete, RefreshStrategy::kUpdate});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

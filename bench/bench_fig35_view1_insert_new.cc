@@ -1,0 +1,21 @@
+// Fig. 35: maintenance of View 1 under inserts that cause only view
+// *insertions* (first lines for previously line-less orders). This is the
+// most favourable case for the insert/delete rules — no re-insertion churn
+// — yet the update rules still win because they never re-access
+// GPIVOT(lineitem) (§7.2.1).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using gpivot::bench::RegisterFigure;
+  using gpivot::bench::ViewId;
+  using gpivot::bench::WorkloadKind;
+  using gpivot::ivm::RefreshStrategy;
+  RegisterFigure("Fig35/View1InsertNew", ViewId::kView1,
+                 WorkloadKind::kInsertNew,
+                 {RefreshStrategy::kFullRecompute,
+                  RefreshStrategy::kInsertDelete, RefreshStrategy::kUpdate});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fig. 37: maintenance of View 2 (σ over a pivoted cell, Fig. 36) under
+// deletions. Compares full recomputation, insert/delete rules, the σ-
+// pushdown alternative (Eq. 7 self-join, then Fig. 23), and the combined
+// SELECT/GPIVOT update rules (Fig. 29). Expected: Combined < Pushdown <
+// InsertDelete < FullRecompute.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using gpivot::bench::RegisterFigure;
+  using gpivot::bench::ViewId;
+  using gpivot::bench::WorkloadKind;
+  using gpivot::ivm::RefreshStrategy;
+  RegisterFigure("Fig37/View2Delete", ViewId::kView2, WorkloadKind::kDelete,
+                 {RefreshStrategy::kFullRecompute,
+                  RefreshStrategy::kInsertDelete,
+                  RefreshStrategy::kSelectPushdownUpdate,
+                  RefreshStrategy::kCombinedSelect});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig. 40: maintenance of the aggregate crosstab View 3 (Fig. 39) under
+// deletions. Compares full recomputation, GPIVOT update rules over the [18]
+// GROUPBY insert/delete rules (affected groups recomputed), and the
+// combined GPIVOT/GROUPBY update rules of Fig. 27 (pure delta aggregation).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using gpivot::bench::RegisterFigure;
+  using gpivot::bench::ViewId;
+  using gpivot::bench::WorkloadKind;
+  using gpivot::ivm::RefreshStrategy;
+  RegisterFigure("Fig40/View3Delete", ViewId::kView3, WorkloadKind::kDelete,
+                 {RefreshStrategy::kFullRecompute, RefreshStrategy::kUpdate,
+                  RefreshStrategy::kCombinedGroupBy});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig. 41: maintenance of the aggregate crosstab View 3 under insertions
+// (mixed batch). Same comparison as Fig. 40; the combined Fig. 27 rules
+// aggregate only the delta rows.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using gpivot::bench::RegisterFigure;
+  using gpivot::bench::ViewId;
+  using gpivot::bench::WorkloadKind;
+  using gpivot::ivm::RefreshStrategy;
+  RegisterFigure("Fig41/View3Insert", ViewId::kView3,
+                 WorkloadKind::kInsertMixed,
+                 {RefreshStrategy::kFullRecompute, RefreshStrategy::kUpdate,
+                  RefreshStrategy::kCombinedGroupBy});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

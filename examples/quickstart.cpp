@@ -1,0 +1,89 @@
+// Quickstart: build a table, run the simple PIVOT/UNPIVOT of Fig. 1 and the
+// generalized GPIVOT/GUNPIVOT of Fig. 5, and print the results.
+//
+//   ./examples/quickstart
+#include <iostream>
+
+#include "core/gpivot.h"
+#include "core/pivot_spec.h"
+#include "relation/table.h"
+#include "util/check.h"
+
+namespace {
+
+using gpivot::DataType;
+using gpivot::PivotSpec;
+using gpivot::Schema;
+using gpivot::Table;
+using gpivot::UnpivotSpec;
+using gpivot::Value;
+
+Value S(const char* s) { return Value::Str(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+void Figure1() {
+  std::cout << "=== Fig. 1: simple PIVOT / UNPIVOT ===\n";
+  Table item_info{Schema({{"AuctionID", DataType::kInt64},
+                          {"Attribute", DataType::kString},
+                          {"Value", DataType::kString}})};
+  item_info.AddRow({I(1), S("Manufacturer"), S("Sony")});
+  item_info.AddRow({I(1), S("Type"), S("TV")});
+  item_info.AddRow({I(2), S("Manufacturer"), S("Panasonic")});
+  item_info.AddRow({I(3), S("Type"), S("VCR")});
+  item_info.AddRow({I(3), S("Color"), S("Black")});
+  GPIVOT_CHECK(item_info.SetKey({"AuctionID", "Attribute"}).ok());
+  std::cout << "ItemInfo (vertical storage):\n" << item_info.ToString();
+
+  Table pivoted = gpivot::SimplePivot(item_info, "Attribute", "Value",
+                                      {S("Manufacturer"), S("Type")})
+                      .ValueOrDie();
+  std::cout << "\nPIVOT Value by Attribute [Manufacturer, Type]:\n"
+            << pivoted.ToString();
+
+  Table unpivoted = gpivot::SimpleUnpivot(pivoted, {"Manufacturer", "Type"},
+                                          "Attribute", "Value")
+                        .ValueOrDie();
+  std::cout << "\nUNPIVOT [Manufacturer, Type] (⊥ cells are skipped; the "
+               "unlisted 'Color' attribute is gone):\n"
+            << unpivoted.ToString();
+}
+
+void Figure5() {
+  std::cout << "\n=== Fig. 5: GPIVOT / GUNPIVOT ===\n";
+  Table sales{Schema({{"Country", DataType::kString},
+                      {"Manu", DataType::kString},
+                      {"Type", DataType::kString},
+                      {"Price", DataType::kInt64},
+                      {"Quantity", DataType::kInt64}})};
+  sales.AddRow({S("USA"), S("Sony"), S("TV"), I(220), I(100)});
+  sales.AddRow({S("USA"), S("Sony"), S("VCR"), I(250), I(50)});
+  sales.AddRow({S("USA"), S("Panasonic"), S("TV"), I(205), I(120)});
+  sales.AddRow({S("Japan"), S("Sony"), S("TV"), I(210), I(200)});
+  sales.AddRow({S("Japan"), S("Panasonic"), S("VCR"), I(280), I(60)});
+  GPIVOT_CHECK(sales.SetKey({"Country", "Manu", "Type"}).ok());
+  std::cout << "Sales:\n" << sales.ToString();
+
+  // Pivot both measures (Price, Quantity) by both dimensions (Manu, Type)
+  // for every combination {Sony, Panasonic} x {TV, VCR}.
+  PivotSpec spec;
+  spec.pivot_by = {"Manu", "Type"};
+  spec.pivot_on = {"Price", "Quantity"};
+  spec.combos = PivotSpec::CrossProduct(
+      {{S("Sony"), S("Panasonic")}, {S("TV"), S("VCR")}});
+  std::cout << "\n" << spec.ToString() << ":\n";
+  Table pivoted = gpivot::GPivot(sales, spec).ValueOrDie();
+  std::cout << pivoted.ToString();
+
+  std::cout << "\nGUNPIVOT (inverse) recovers the original rows:\n";
+  Table unpivoted =
+      gpivot::GUnpivot(pivoted, UnpivotSpec::InverseOf(spec)).ValueOrDie();
+  std::cout << unpivoted.ToString();
+}
+
+}  // namespace
+
+int main() {
+  Figure1();
+  Figure5();
+  return 0;
+}

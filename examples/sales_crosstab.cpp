@@ -1,0 +1,136 @@
+// The Fig. 2 ROLAP view end-to-end: a vertical Payment table is pivoted,
+// joined with Product, aggregated per (Manu, Type), and pivoted again into
+// a crosstab. The rewriter combines/pulls the two pivots into one GPIVOT
+// over a GROUPBY (Fig. 11 + Eq. 6), the planner injects the COUNT(*) that
+// makes it delete-maintainable (Fig. 28), and the Fig. 27 combined update
+// rules maintain it.
+//
+//   ./examples/sales_crosstab
+#include <iostream>
+
+#include "algebra/plan.h"
+#include "core/pivot_spec.h"
+#include "ivm/view_manager.h"
+#include "rewrite/rewriter.h"
+#include "util/check.h"
+
+namespace {
+
+using gpivot::AggSpec;
+using gpivot::Catalog;
+using gpivot::DataType;
+using gpivot::PivotSpec;
+using gpivot::PlanPtr;
+using gpivot::Schema;
+using gpivot::Table;
+using gpivot::Value;
+using gpivot::ivm::Delta;
+using gpivot::ivm::RefreshStrategy;
+using gpivot::ivm::SourceDeltas;
+using gpivot::ivm::ViewManager;
+
+Value S(const char* s) { return Value::Str(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+}  // namespace
+
+int main() {
+  // Payment(AuctionID, Payment, Price): vertical per-payment-type prices.
+  Table payment{Schema({{"AuctionID", DataType::kInt64},
+                        {"Payment", DataType::kString},
+                        {"Price", DataType::kInt64}})};
+  int64_t id = 0;
+  for (const char* type : {"TV", "TV", "VCR", "TV", "VCR", "VCR"}) {
+    ++id;
+    (void)type;
+    payment.AddRow({I(id), S("Credit"), I(100 + 10 * id)});
+    if (id % 2 == 0) payment.AddRow({I(id), S("ByAir"), I(20 + id)});
+  }
+  GPIVOT_CHECK(payment.SetKey({"AuctionID", "Payment"}).ok());
+
+  // Product(AuctionID, Manu, Type).
+  Table product{Schema({{"AuctionID", DataType::kInt64},
+                        {"Manu", DataType::kString},
+                        {"Type", DataType::kString}})};
+  product.AddRow({I(1), S("Sony"), S("TV")});
+  product.AddRow({I(2), S("Sony"), S("TV")});
+  product.AddRow({I(3), S("Sony"), S("VCR")});
+  product.AddRow({I(4), S("Panasonic"), S("TV")});
+  product.AddRow({I(5), S("Panasonic"), S("VCR")});
+  product.AddRow({I(6), S("Panasonic"), S("VCR")});
+  GPIVOT_CHECK(product.SetKey({"AuctionID"}).ok());
+
+  Catalog base;
+  GPIVOT_CHECK(base.AddTable("Payment", std::move(payment)).ok());
+  GPIVOT_CHECK(base.AddTable("Product", std::move(product)).ok());
+
+  // Fig. 2, bottom-up: pivot payments, join products, aggregate, pivot the
+  // aggregates by Type into a crosstab.
+  PivotSpec lower;
+  lower.pivot_by = {"Payment"};
+  lower.pivot_on = {"Price"};
+  lower.combos = {{S("Credit")}, {S("ByAir")}};
+  PlanPtr pivoted = gpivot::MakeGPivot(
+      gpivot::MakeScan(base, "Payment").ValueOrDie(), lower);
+  PlanPtr joined = gpivot::MakeJoin(
+      std::move(pivoted), gpivot::MakeScan(base, "Product").ValueOrDie(),
+      {"AuctionID"});
+  // Aggregate each pivoted cell in place (Eq. 8's naming convention).
+  std::vector<AggSpec> aggs;
+  for (const std::string& cell : lower.OutputColumnNames()) {
+    aggs.push_back(AggSpec::Sum(cell, cell));
+  }
+  PlanPtr aggregated =
+      gpivot::MakeGroupBy(std::move(joined), {"Manu", "Type"}, aggs);
+  PivotSpec upper;
+  upper.pivot_by = {"Type"};
+  upper.pivot_on = lower.OutputColumnNames();
+  upper.combos = {{S("TV")}, {S("VCR")}};
+  PlanPtr view = gpivot::MakeGPivot(std::move(aggregated), upper);
+
+  std::cout << "=== Fig. 2 view, as written ===\n"
+            << gpivot::PlanToString(view) << "\n";
+
+  auto outcome = gpivot::rewrite::PullUpPivots(view).ValueOrDie();
+  std::cout << "=== after pullup + combination (Fig. 11 / Eq. 6) ===\n"
+            << gpivot::PlanToString(outcome.plan) << "top shape: "
+            << gpivot::rewrite::TopShapeToString(outcome.top_shape)
+            << ", pivots pulled: " << outcome.pivots_pulled
+            << ", combined: " << outcome.pivots_combined << "\n\n";
+
+  ViewManager manager(std::move(base));
+  GPIVOT_CHECK(manager
+                   .DefineView("crosstab", view,
+                               RefreshStrategy::kCombinedGroupBy)
+                   .ok());
+  std::cout << "=== maintenance plan (note the injected COUNT(*), "
+               "Fig. 28) ===\n"
+            << manager.GetPlan("crosstab").value()->ToString() << "\n";
+  std::cout << "--- crosstab ---\n"
+            << manager.GetView("crosstab").value()->table().Sorted()
+                   .ToString()
+            << "\n";
+
+  // Delete one Credit payment and insert a ByAir one; Fig. 27's combined
+  // rules patch the sums and counts without touching any group's rows.
+  Delta delta = Delta::Empty(
+      manager.catalog().GetTable("Payment").value()->schema());
+  delta.deletes.AddRow({I(3), S("Credit"), I(130)});
+  delta.inserts.AddRow({I(1), S("ByAir"), I(33)});
+  SourceDeltas deltas;
+  deltas.emplace("Payment", std::move(delta));
+  GPIVOT_CHECK(manager.ApplyUpdate(deltas).ok());
+
+  std::cout << "--- crosstab after -1 Credit(VCR/Sony), +1 ByAir(TV/Sony) "
+               "---\n"
+            << manager.GetView("crosstab").value()->table().Sorted()
+                   .ToString()
+            << "\n";
+
+  Table recomputed = manager.RecomputeFromScratch("crosstab").ValueOrDie();
+  GPIVOT_CHECK(
+      recomputed.BagEquals(manager.GetView("crosstab").value()->table()))
+      << "incremental crosstab diverged from recomputation";
+  std::cout << "incremental crosstab == full recomputation ✓\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "algebra/plan.h"
+
+#include "core/gpivot.h"
+#include "exec/basic_ops.h"
+#include "exec/group_by.h"
+#include "exec/join.h"
+#include "util/check.h"
+
+namespace gpivot {
+
+Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog) {
+  GPIVOT_CHECK(plan != nullptr) << "Evaluate on null plan";
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      const auto* scan = static_cast<const ScanNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(const Table* table,
+                              catalog.GetTable(scan->table_name()));
+      return *table;
+    }
+    case PlanKind::kSelect: {
+      const auto* node = static_cast<const SelectNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(Table result,
+                              exec::Select(child, node->predicate()));
+      GPIVOT_RETURN_NOT_OK(result.SetKey(child.key()));
+      return result;
+    }
+    case PlanKind::kProject: {
+      const auto* node = static_cast<const ProjectNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> kept,
+                              node->KeptColumns());
+      GPIVOT_ASSIGN_OR_RETURN(Table result, exec::Project(child, kept));
+      GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key,
+                              node->OutputKey());
+      GPIVOT_RETURN_NOT_OK(result.SetKey(key));
+      return result;
+    }
+    case PlanKind::kMap: {
+      const auto* node = static_cast<const MapNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(Table result,
+                              exec::ProjectExprs(child, node->outputs()));
+      GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key,
+                              node->OutputKey());
+      GPIVOT_RETURN_NOT_OK(result.SetKey(key));
+      return result;
+    }
+    case PlanKind::kJoin: {
+      const auto* node = static_cast<const JoinNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Table left, Evaluate(node->left(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(Table right, Evaluate(node->right(), catalog));
+      exec::JoinSpec spec;
+      spec.left_keys = node->left_keys();
+      spec.right_keys = node->right_keys();
+      spec.type = exec::JoinType::kInner;
+      spec.residual = node->residual();
+      GPIVOT_ASSIGN_OR_RETURN(Table result, exec::HashJoin(left, right, spec));
+      GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key,
+                              node->OutputKey());
+      GPIVOT_RETURN_NOT_OK(result.SetKey(key));
+      return result;
+    }
+    case PlanKind::kGroupBy: {
+      const auto* node = static_cast<const GroupByNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      return exec::GroupBy(child, node->group_columns(), node->aggregates());
+    }
+    case PlanKind::kGPivot: {
+      const auto* node = static_cast<const GPivotNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      return GPivot(child, node->spec());
+    }
+    case PlanKind::kGUnpivot: {
+      const auto* node = static_cast<const GUnpivotNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(Table result, GUnpivot(child, node->spec()));
+      GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key,
+                              node->OutputKey());
+      GPIVOT_RETURN_NOT_OK(result.SetKey(key));
+      return result;
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace gpivot

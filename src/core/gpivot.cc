@@ -1,0 +1,218 @@
+#include "core/gpivot.h"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exec/basic_ops.h"
+#include "exec/join.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gpivot {
+
+Result<Table> GPivot(const Table& input, const PivotSpec& spec) {
+  GPIVOT_RETURN_NOT_OK(spec.Validate(input.schema()));
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key_names,
+                          spec.KeyColumns(input.schema()));
+  GPIVOT_ASSIGN_OR_RETURN(Schema output_schema,
+                          spec.OutputSchema(input.schema()));
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> key_idx,
+                          input.schema().ColumnIndices(key_names));
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> by_idx,
+                          input.schema().ColumnIndices(spec.pivot_by));
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> on_idx,
+                          input.schema().ColumnIndices(spec.pivot_on));
+
+  // combo row -> combo index
+  std::unordered_map<Row, size_t, RowHash, RowEq> combo_index;
+  combo_index.reserve(spec.combos.size());
+  for (size_t c = 0; c < spec.combos.size(); ++c) {
+    combo_index.emplace(spec.combos[c], c);
+  }
+
+  const size_t num_key = key_idx.size();
+  const size_t num_measures = spec.pivot_on.size();
+  const size_t num_cells = spec.num_combos() * num_measures;
+
+  struct OutputSlot {
+    size_t row_position;
+    std::vector<bool> combo_filled;  // one bit per combo, for key checking
+  };
+  std::unordered_map<Row, OutputSlot, RowHash, RowEq> by_key;
+  by_key.reserve(input.num_rows());
+
+  Table result(output_schema);
+  for (const Row& row : input.rows()) {
+    Row combo = ProjectRow(row, by_idx);
+    auto combo_it = combo_index.find(combo);
+    if (combo_it == combo_index.end() && !spec.keep_all_null_rows) {
+      continue;  // unlisted dimension value (Eq. 3 semantics)
+    }
+
+    Row key = ProjectRow(row, key_idx);
+    auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      Row out;
+      out.reserve(num_key + num_cells);
+      out.insert(out.end(), key.begin(), key.end());
+      out.resize(num_key + num_cells, Value::Null());
+      result.AddRow(std::move(out));
+      OutputSlot slot{result.num_rows() - 1,
+                      std::vector<bool>(spec.num_combos(), false)};
+      it = by_key.emplace(std::move(key), std::move(slot)).first;
+    }
+    if (combo_it == combo_index.end()) {
+      continue;  // keep_all_null_rows: the key row exists, no cell to fill
+    }
+    size_t c = combo_it->second;
+    OutputSlot& slot = it->second;
+    if (slot.combo_filled[c]) {
+      return Status::ConstraintViolation(
+          StrCat("GPIVOT input violates key: duplicate (",
+                 RowToString(it->first), ", ", RowToString(combo), ")"));
+    }
+    slot.combo_filled[c] = true;
+    Row& out = result.mutable_rows()[slot.row_position];
+    for (size_t b = 0; b < num_measures; ++b) {
+      out[num_key + c * num_measures + b] = row[on_idx[b]];
+    }
+  }
+
+  GPIVOT_RETURN_NOT_OK(result.SetKey(key_names));
+  return result;
+}
+
+Result<Table> GUnpivot(const Table& input, const UnpivotSpec& spec) {
+  GPIVOT_RETURN_NOT_OK(spec.Validate(input.schema()));
+  GPIVOT_ASSIGN_OR_RETURN(Schema output_schema,
+                          spec.OutputSchema(input.schema()));
+
+  // K = input columns not consumed by any group.
+  std::unordered_set<std::string> consumed;
+  for (const std::string& name : spec.AllSourceColumns()) {
+    consumed.insert(name);
+  }
+  std::vector<size_t> key_idx;
+  for (size_t i = 0; i < input.schema().num_columns(); ++i) {
+    if (consumed.count(input.schema().column(i).name) == 0) {
+      key_idx.push_back(i);
+    }
+  }
+
+  // Per group: source column indices.
+  std::vector<std::vector<size_t>> group_src_idx;
+  group_src_idx.reserve(spec.groups.size());
+  for (const UnpivotGroup& g : spec.groups) {
+    GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> idx,
+                            input.schema().ColumnIndices(g.source_columns));
+    group_src_idx.push_back(std::move(idx));
+  }
+
+  Table result(output_schema);
+  for (const Row& row : input.rows()) {
+    for (size_t g = 0; g < spec.groups.size(); ++g) {
+      bool all_null = true;
+      for (size_t idx : group_src_idx[g]) {
+        if (!row[idx].is_null()) {
+          all_null = false;
+          break;
+        }
+      }
+      if (all_null) continue;
+      Row out;
+      out.reserve(output_schema.num_columns());
+      for (size_t idx : key_idx) out.push_back(row[idx]);
+      for (const Value& v : spec.groups[g].combo) out.push_back(v);
+      for (size_t idx : group_src_idx[g]) out.push_back(row[idx]);
+      result.AddRow(std::move(out));
+    }
+  }
+  return result;
+}
+
+Result<Table> SimplePivot(const Table& input, const std::string& by,
+                          const std::string& on,
+                          const std::vector<Value>& values) {
+  PivotSpec spec;
+  spec.pivot_by = {by};
+  spec.pivot_on = {on};
+  for (const Value& v : values) spec.combos.push_back({v});
+  GPIVOT_ASSIGN_OR_RETURN(Table pivoted, GPivot(input, spec));
+  // Rename "value**measure" columns to just "value" (Fig. 1 convention).
+  std::vector<std::pair<std::string, std::string>> renames;
+  for (size_t c = 0; c < spec.combos.size(); ++c) {
+    renames.emplace_back(spec.OutputColumnName(c, 0),
+                         spec.combos[c][0].ToString());
+  }
+  GPIVOT_ASSIGN_OR_RETURN(Table renamed,
+                          exec::RenameColumns(pivoted, renames));
+  GPIVOT_RETURN_NOT_OK(renamed.SetKey(pivoted.key()));
+  return renamed;
+}
+
+Result<Table> SimpleUnpivot(const Table& input,
+                            const std::vector<std::string>& columns,
+                            const std::string& name_column,
+                            const std::string& value_column) {
+  UnpivotSpec spec;
+  spec.name_columns = {name_column};
+  spec.value_columns = {value_column};
+  for (const std::string& name : columns) {
+    spec.groups.push_back({{Value::Str(name)}, {name}});
+  }
+  return GUnpivot(input, spec);
+}
+
+Result<Table> GPivotReference(const Table& input, const PivotSpec& spec) {
+  GPIVOT_RETURN_NOT_OK(spec.Validate(input.schema()));
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key_names,
+                          spec.KeyColumns(input.schema()));
+
+  std::optional<Table> accumulated;
+  if (spec.keep_all_null_rows) {
+    // §8 variant: seed with every distinct key, then left-outer join the
+    // per-combo terms so keys without any listed combo survive with all-⊥
+    // cells.
+    GPIVOT_ASSIGN_OR_RETURN(Table keys, exec::Project(input, key_names));
+    GPIVOT_ASSIGN_OR_RETURN(accumulated, exec::Distinct(keys));
+  }
+  for (size_t c = 0; c < spec.num_combos(); ++c) {
+    // σ_{(A1..Am)=(a^c)}(V)
+    std::vector<ExprPtr> conjuncts;
+    for (size_t d = 0; d < spec.pivot_by.size(); ++d) {
+      conjuncts.push_back(Eq(Col(spec.pivot_by[d]), Lit(spec.combos[c][d])));
+    }
+    GPIVOT_ASSIGN_OR_RETURN(Table selected,
+                            exec::Select(input, And(conjuncts)));
+    // π_{K, B1..Bn}
+    std::vector<std::string> projection = key_names;
+    projection.insert(projection.end(), spec.pivot_on.begin(),
+                      spec.pivot_on.end());
+    GPIVOT_ASSIGN_OR_RETURN(Table projected,
+                            exec::Project(selected, projection));
+    // rename each Bj to its pivoted output name
+    std::vector<std::pair<std::string, std::string>> renames;
+    for (size_t b = 0; b < spec.pivot_on.size(); ++b) {
+      renames.emplace_back(spec.pivot_on[b], spec.OutputColumnName(c, b));
+    }
+    GPIVOT_ASSIGN_OR_RETURN(Table term,
+                            exec::RenameColumns(projected, renames));
+    if (!accumulated.has_value()) {
+      accumulated = std::move(term);
+      continue;
+    }
+    // Full outer join on K.
+    exec::JoinSpec join;
+    join.left_keys = key_names;
+    join.right_keys = key_names;
+    join.type = exec::JoinType::kFullOuter;
+    GPIVOT_ASSIGN_OR_RETURN(Table joined,
+                            exec::HashJoin(*accumulated, term, join));
+    accumulated = std::move(joined);
+  }
+  GPIVOT_RETURN_NOT_OK(accumulated->SetKey(key_names));
+  return *std::move(accumulated);
+}
+
+}  // namespace gpivot

@@ -1,0 +1,186 @@
+#include "exec/basic_ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gpivot::exec {
+
+Result<Table> Select(const Table& input, const ExprPtr& predicate) {
+  GPIVOT_ASSIGN_OR_RETURN(CompiledExpr compiled,
+                          CompileExpr(predicate, input.schema()));
+  Table result(input.schema());
+  for (const Row& row : input.rows()) {
+    if (ValueIsTrue(compiled(row))) result.AddRow(row);
+  }
+  return result;
+}
+
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns) {
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                          input.schema().ColumnIndices(columns));
+  Table result(input.schema().Select(indices));
+  result.mutable_rows().reserve(input.num_rows());
+  for (const Row& row : input.rows()) {
+    result.AddRow(ProjectRow(row, indices));
+  }
+  return result;
+}
+
+Result<Table> DropColumns(const Table& input,
+                          const std::vector<std::string>& columns) {
+  GPIVOT_ASSIGN_OR_RETURN(Schema schema, input.schema().Drop(columns));
+  return Project(input, schema.ColumnNames());
+}
+
+Result<Table> ProjectExprs(
+    const Table& input,
+    const std::vector<std::pair<std::string, ExprPtr>>& outputs) {
+  std::vector<Column> columns;
+  std::vector<CompiledExpr> compiled;
+  columns.reserve(outputs.size());
+  compiled.reserve(outputs.size());
+  for (const auto& [name, expr] : outputs) {
+    GPIVOT_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(expr, input.schema()));
+    compiled.push_back(std::move(c));
+    // Output type: preserve the source column type for plain references.
+    DataType type = DataType::kDouble;
+    if (expr->kind() == ExprKind::kColumnRef) {
+      const auto* ref = static_cast<const ColumnRefExpr*>(expr.get());
+      type = input.schema()
+                 .column(input.schema().ColumnIndexOrDie(ref->name()))
+                 .type;
+    } else if (expr->kind() == ExprKind::kLiteral) {
+      type = static_cast<const LiteralExpr*>(expr.get())->value().type();
+    } else if (expr->kind() == ExprKind::kCase) {
+      // CASE over a column keeps that column's type.
+      const auto* c = static_cast<const CaseExpr*>(expr.get());
+      if (c->then_value()->kind() == ExprKind::kColumnRef) {
+        const auto* ref =
+            static_cast<const ColumnRefExpr*>(c->then_value().get());
+        type = input.schema()
+                   .column(input.schema().ColumnIndexOrDie(ref->name()))
+                   .type;
+      }
+    }
+    columns.push_back({name, type});
+  }
+  Table result{Schema(std::move(columns))};
+  result.mutable_rows().reserve(input.num_rows());
+  for (const Row& row : input.rows()) {
+    Row out;
+    out.reserve(compiled.size());
+    for (const CompiledExpr& c : compiled) out.push_back(c(row));
+    result.AddRow(std::move(out));
+  }
+  return result;
+}
+
+Result<Table> RenameColumns(
+    const Table& input,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  Schema schema = input.schema();
+  for (const auto& [old_name, new_name] : renames) {
+    GPIVOT_ASSIGN_OR_RETURN(size_t index, schema.ColumnIndex(old_name));
+    schema = schema.Rename(index, new_name);
+  }
+  return Table(std::move(schema), input.rows());
+}
+
+Result<Table> UnionAll(const Table& left, const Table& right) {
+  if (left.schema() != right.schema()) {
+    return Status::InvalidArgument(
+        StrCat("UnionAll schema mismatch: ", left.schema().ToString(), " vs ",
+               right.schema().ToString()));
+  }
+  Table result = left;
+  result.mutable_rows().insert(result.mutable_rows().end(),
+                               right.rows().begin(), right.rows().end());
+  return result;
+}
+
+Result<Table> BagDifference(const Table& left, const Table& right) {
+  if (left.schema() != right.schema()) {
+    return Status::InvalidArgument(
+        StrCat("BagDifference schema mismatch: ", left.schema().ToString(),
+               " vs ", right.schema().ToString()));
+  }
+  std::unordered_map<Row, int64_t, RowHash, RowEq> to_remove;
+  for (const Row& row : right.rows()) ++to_remove[row];
+  Table result(left.schema());
+  for (const Row& row : left.rows()) {
+    auto it = to_remove.find(row);
+    if (it != to_remove.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    result.AddRow(row);
+  }
+  return result;
+}
+
+Result<Table> Distinct(const Table& input) {
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  Table result(input.schema());
+  for (const Row& row : input.rows()) {
+    if (seen.insert(row).second) result.AddRow(row);
+  }
+  return result;
+}
+
+Result<Table> SemiJoinKeySet(
+    const Table& input, const std::vector<std::string>& key_columns,
+    const std::unordered_set<Row, RowHash, RowEq>& keys) {
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                          input.schema().ColumnIndices(key_columns));
+  Table result(input.schema());
+  for (const Row& row : input.rows()) {
+    if (keys.count(ProjectRow(row, indices)) > 0) result.AddRow(row);
+  }
+  return result;
+}
+
+Result<Table> AntiJoinKeySet(
+    const Table& input, const std::vector<std::string>& key_columns,
+    const std::unordered_set<Row, RowHash, RowEq>& keys) {
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                          input.schema().ColumnIndices(key_columns));
+  Table result(input.schema());
+  for (const Row& row : input.rows()) {
+    if (keys.count(ProjectRow(row, indices)) == 0) result.AddRow(row);
+  }
+  return result;
+}
+
+Result<std::unordered_set<Row, RowHash, RowEq>> CollectKeySet(
+    const Table& input, const std::vector<std::string>& key_columns) {
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                          input.schema().ColumnIndices(key_columns));
+  std::unordered_set<Row, RowHash, RowEq> keys;
+  keys.reserve(input.num_rows());
+  for (const Row& row : input.rows()) {
+    keys.insert(ProjectRow(row, indices));
+  }
+  return keys;
+}
+
+Result<Table> SortBy(const Table& input,
+                     const std::vector<std::string>& columns) {
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                          input.schema().ColumnIndices(columns));
+  Table result = input;
+  std::stable_sort(result.mutable_rows().begin(), result.mutable_rows().end(),
+                   [&indices](const Row& a, const Row& b) {
+                     for (size_t i : indices) {
+                       if (a[i] < b[i]) return true;
+                       if (b[i] < a[i]) return false;
+                     }
+                     return false;
+                   });
+  return result;
+}
+
+}  // namespace gpivot::exec

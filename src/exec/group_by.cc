@@ -1,0 +1,78 @@
+#include "exec/group_by.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gpivot::exec {
+
+Result<Table> GroupBy(const Table& input,
+                      const std::vector<std::string>& group_columns,
+                      const std::vector<AggSpec>& aggregates) {
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> group_idx,
+                          input.schema().ColumnIndices(group_columns));
+
+  // Resolve aggregate input columns; kCountStar has none.
+  std::vector<std::optional<size_t>> agg_input_idx;
+  std::vector<Column> out_columns;
+  for (size_t i : group_idx) out_columns.push_back(input.schema().column(i));
+  for (const AggSpec& spec : aggregates) {
+    if (spec.func == AggFunc::kCountStar) {
+      agg_input_idx.push_back(std::nullopt);
+      out_columns.push_back({spec.output, DataType::kInt64});
+    } else {
+      GPIVOT_ASSIGN_OR_RETURN(size_t idx,
+                              input.schema().ColumnIndex(spec.input));
+      agg_input_idx.push_back(idx);
+      out_columns.push_back(
+          {spec.output,
+           AggResultType(spec.func, input.schema().column(idx).type)});
+    }
+    if (spec.output.empty()) {
+      return Status::InvalidArgument("aggregate output name empty");
+    }
+  }
+
+  struct GroupState {
+    std::vector<Accumulator> accumulators;
+  };
+  std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
+  // Preserve first-appearance order for deterministic output.
+  std::vector<const Row*> order;
+
+  for (const Row& row : input.rows()) {
+    Row key = ProjectRow(row, group_idx);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      GroupState state;
+      state.accumulators.reserve(aggregates.size());
+      for (const AggSpec& spec : aggregates) {
+        state.accumulators.emplace_back(spec.func);
+      }
+      it = groups.emplace(std::move(key), std::move(state)).first;
+      order.push_back(&it->first);
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const auto& input_idx = agg_input_idx[a];
+      it->second.accumulators[a].Add(
+          input_idx.has_value() ? row[*input_idx] : Value::Int(1));
+    }
+  }
+
+  Table result{Schema(std::move(out_columns))};
+  result.mutable_rows().reserve(groups.size());
+  for (const Row* key : order) {
+    const GroupState& state = groups.at(*key);
+    Row out = *key;
+    for (const Accumulator& acc : state.accumulators) {
+      out.push_back(acc.Finish());
+    }
+    result.AddRow(std::move(out));
+  }
+  // The group-by columns form a key of the output.
+  GPIVOT_RETURN_NOT_OK(result.SetKey(group_columns));
+  return result;
+}
+
+}  // namespace gpivot::exec

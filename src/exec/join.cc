@@ -1,0 +1,243 @@
+#include "exec/join.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gpivot::exec {
+
+const char* JoinTypeToString(JoinType type) {
+  switch (type) {
+    case JoinType::kInner:
+      return "INNER";
+    case JoinType::kLeftOuter:
+      return "LEFT OUTER";
+    case JoinType::kFullOuter:
+      return "FULL OUTER";
+    case JoinType::kLeftSemi:
+      return "LEFT SEMI";
+    case JoinType::kLeftAnti:
+      return "LEFT ANTI";
+  }
+  return "?";
+}
+
+namespace {
+
+// Row-key wrapper with NULL poisoning: SQL equi-joins never match NULL keys,
+// so NULL-containing keys are excluded from the hash table / probes.
+bool KeyHasNull(const Row& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const JoinSpec& spec) {
+  if (spec.left_keys.size() != spec.right_keys.size()) {
+    return Status::InvalidArgument("HashJoin: key lists differ in length");
+  }
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> left_key_idx,
+                          left.schema().ColumnIndices(spec.left_keys));
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> right_key_idx,
+                          right.schema().ColumnIndices(spec.right_keys));
+
+  // Right payload = right columns minus its join keys.
+  std::unordered_set<size_t> right_key_set(right_key_idx.begin(),
+                                           right_key_idx.end());
+  std::vector<size_t> right_payload_idx;
+  for (size_t i = 0; i < right.schema().num_columns(); ++i) {
+    if (right_key_set.count(i) == 0) right_payload_idx.push_back(i);
+  }
+
+  Schema output_schema = left.schema();
+  bool semi_or_anti =
+      spec.type == JoinType::kLeftSemi || spec.type == JoinType::kLeftAnti;
+  if (!semi_or_anti) {
+    Schema right_payload_schema = right.schema().Select(right_payload_idx);
+    GPIVOT_ASSIGN_OR_RETURN(output_schema,
+                            left.schema().Concat(right_payload_schema));
+  }
+
+  CompiledExpr residual;
+  if (spec.residual != nullptr) {
+    if (semi_or_anti) {
+      // Residual needs the combined schema; build it for evaluation only.
+      Schema right_payload_schema = right.schema().Select(right_payload_idx);
+      GPIVOT_ASSIGN_OR_RETURN(Schema combined,
+                              left.schema().Concat(right_payload_schema));
+      GPIVOT_ASSIGN_OR_RETURN(residual, CompileExpr(spec.residual, combined));
+    } else {
+      GPIVOT_ASSIGN_OR_RETURN(residual,
+                              CompileExpr(spec.residual, output_schema));
+    }
+  }
+
+  auto combined_row_of = [&](const Row& l, const Row& r) {
+    Row out = l;
+    out.reserve(output_schema.num_columns());
+    for (size_t i : right_payload_idx) out.push_back(r[i]);
+    return out;
+  };
+
+  if (spec.type == JoinType::kInner &&
+      (left.empty() || right.empty())) {
+    return Table(output_schema);
+  }
+
+  // Inner joins build the hash table on the smaller side; delta-sized
+  // inputs (the common IVM case) then avoid hashing the large table.
+  if (spec.type == JoinType::kInner && left.num_rows() < right.num_rows()) {
+    std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> build;
+    build.reserve(left.num_rows());
+    for (size_t i = 0; i < left.num_rows(); ++i) {
+      Row key = ProjectRow(left.rows()[i], left_key_idx);
+      if (KeyHasNull(key)) continue;
+      build[std::move(key)].push_back(i);
+    }
+    Table result(output_schema);
+    Row key(right_key_idx.size());
+    for (const Row& rrow : right.rows()) {
+      // Reuse one scratch key row across probes to avoid per-row allocs.
+      for (size_t i = 0; i < right_key_idx.size(); ++i) {
+        key[i] = rrow[right_key_idx[i]];
+      }
+      if (KeyHasNull(key)) continue;
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (size_t li : it->second) {
+        Row out = combined_row_of(left.rows()[li], rrow);
+        if (residual && !ValueIsTrue(residual(out))) continue;
+        result.AddRow(std::move(out));
+      }
+    }
+    return result;
+  }
+
+  // Build side: right.
+  std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> build;
+  build.reserve(right.num_rows());
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    Row key = ProjectRow(right.rows()[i], right_key_idx);
+    if (KeyHasNull(key)) continue;
+    build[std::move(key)].push_back(i);
+  }
+
+  std::vector<bool> right_matched(right.num_rows(), false);
+  Table result(output_schema);
+
+  auto combined_row = [&](const Row& l, const Row& r) {
+    Row out = l;
+    out.reserve(output_schema.num_columns());
+    for (size_t i : right_payload_idx) out.push_back(r[i]);
+    return out;
+  };
+
+  for (const Row& lrow : left.rows()) {
+    Row key = ProjectRow(lrow, left_key_idx);
+    bool matched = false;
+    if (!KeyHasNull(key)) {
+      auto it = build.find(key);
+      if (it != build.end()) {
+        for (size_t ri : it->second) {
+          Row out = combined_row(lrow, right.rows()[ri]);
+          if (residual && !ValueIsTrue(residual(out))) continue;
+          matched = true;
+          right_matched[ri] = true;
+          switch (spec.type) {
+            case JoinType::kInner:
+            case JoinType::kLeftOuter:
+            case JoinType::kFullOuter:
+              result.AddRow(std::move(out));
+              break;
+            case JoinType::kLeftSemi:
+            case JoinType::kLeftAnti:
+              break;  // handled below
+          }
+          if (semi_or_anti) break;  // one match decides
+        }
+      }
+    }
+    switch (spec.type) {
+      case JoinType::kLeftSemi:
+        if (matched) result.AddRow(lrow);
+        break;
+      case JoinType::kLeftAnti:
+        if (!matched) result.AddRow(lrow);
+        break;
+      case JoinType::kLeftOuter:
+      case JoinType::kFullOuter:
+        if (!matched) {
+          Row out = lrow;
+          out.resize(output_schema.num_columns(), Value::Null());
+          result.AddRow(std::move(out));
+        }
+        break;
+      case JoinType::kInner:
+        break;
+    }
+  }
+
+  if (spec.type == JoinType::kFullOuter) {
+    // Right-only rows: left key columns coalesce to the right key values.
+    for (size_t ri = 0; ri < right.num_rows(); ++ri) {
+      if (right_matched[ri]) continue;
+      Row out(output_schema.num_columns(), Value::Null());
+      const Row& rrow = right.rows()[ri];
+      for (size_t k = 0; k < left_key_idx.size(); ++k) {
+        out[left_key_idx[k]] = rrow[right_key_idx[k]];
+      }
+      for (size_t p = 0; p < right_payload_idx.size(); ++p) {
+        out[left.schema().num_columns() + p] = rrow[right_payload_idx[p]];
+      }
+      result.AddRow(std::move(out));
+    }
+  }
+
+  return result;
+}
+
+Result<Table> EquiJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& keys) {
+  JoinSpec spec;
+  spec.left_keys = keys;
+  spec.right_keys = keys;
+  spec.type = JoinType::kInner;
+  return HashJoin(left, right, spec);
+}
+
+Result<Table> NestedLoopJoin(const Table& left, const Table& right,
+                             const ExprPtr& condition, JoinType type) {
+  if (type != JoinType::kInner && type != JoinType::kLeftOuter) {
+    return Status::InvalidArgument(
+        "NestedLoopJoin supports only INNER and LEFT OUTER");
+  }
+  GPIVOT_ASSIGN_OR_RETURN(Schema output_schema,
+                          left.schema().Concat(right.schema()));
+  GPIVOT_ASSIGN_OR_RETURN(CompiledExpr predicate,
+                          CompileExpr(condition, output_schema));
+  Table result(output_schema);
+  for (const Row& lrow : left.rows()) {
+    bool matched = false;
+    for (const Row& rrow : right.rows()) {
+      Row out = lrow;
+      out.insert(out.end(), rrow.begin(), rrow.end());
+      if (!ValueIsTrue(predicate(out))) continue;
+      matched = true;
+      result.AddRow(std::move(out));
+    }
+    if (!matched && type == JoinType::kLeftOuter) {
+      Row out = lrow;
+      out.resize(output_schema.num_columns(), Value::Null());
+      result.AddRow(std::move(out));
+    }
+  }
+  return result;
+}
+
+}  // namespace gpivot::exec

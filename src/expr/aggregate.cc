@@ -1,0 +1,90 @@
+#include "expr/aggregate.h"
+
+#include "util/string_util.h"
+
+namespace gpivot {
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+std::string AggSpec::ToString() const {
+  if (func == AggFunc::kCountStar) {
+    return StrCat("COUNT(*) AS ", output);
+  }
+  return StrCat(AggFuncToString(func), "(", input, ") AS ", output);
+}
+
+void Accumulator::Add(const Value& value) {
+  if (func_ == AggFunc::kCountStar) {
+    ++count_;
+    return;
+  }
+  if (value.is_null()) return;
+  ++count_;
+  switch (func_) {
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      sum_ += value.AsNumeric();
+      if (!value.is_int()) all_int_ = false;
+      break;
+    case AggFunc::kMin:
+      if (extreme_.is_null() || value < extreme_) extreme_ = value;
+      break;
+    case AggFunc::kMax:
+      if (extreme_.is_null() || extreme_ < value) extreme_ = value;
+      break;
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      break;
+  }
+}
+
+Value Accumulator::Finish() const {
+  if (count_ == 0) return Value::Null();
+  switch (func_) {
+    case AggFunc::kSum:
+      return all_int_ ? Value::Int(static_cast<int64_t>(sum_))
+                      : Value::Real(sum_);
+    case AggFunc::kAvg:
+      return Value::Real(sum_ / static_cast<double>(count_));
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      return Value::Int(count_);
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return extreme_;
+  }
+  return Value::Null();
+}
+
+DataType AggResultType(AggFunc func, DataType input_type) {
+  switch (func) {
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      return DataType::kInt64;
+    case AggFunc::kAvg:
+      return DataType::kDouble;
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return input_type;
+  }
+  return DataType::kNull;
+}
+
+}  // namespace gpivot

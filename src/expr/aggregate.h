@@ -1,0 +1,82 @@
+#ifndef GPIVOT_EXPR_AGGREGATE_H_
+#define GPIVOT_EXPR_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace gpivot {
+
+// Aggregate functions. Per the paper's convention (proof of Eq. 8), every
+// aggregate — including COUNT — disregards ⊥ inputs and yields ⊥ when there
+// is nothing to aggregate; this is what makes GPIVOT commute with GROUPBY.
+enum class AggFunc {
+  kSum,
+  kCount,      // COUNT(column): non-⊥ inputs
+  kCountStar,  // COUNT(*): all rows
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggFuncToString(AggFunc func);
+
+// One aggregate column in a GROUPBY: `func(input)` named `output`.
+// `input` is ignored (may be empty) for kCountStar.
+struct AggSpec {
+  AggFunc func = AggFunc::kCountStar;
+  std::string input;
+  std::string output;
+
+  static AggSpec Sum(std::string input, std::string output) {
+    return {AggFunc::kSum, std::move(input), std::move(output)};
+  }
+  static AggSpec Count(std::string input, std::string output) {
+    return {AggFunc::kCount, std::move(input), std::move(output)};
+  }
+  static AggSpec CountStar(std::string output) {
+    return {AggFunc::kCountStar, "", std::move(output)};
+  }
+  static AggSpec Min(std::string input, std::string output) {
+    return {AggFunc::kMin, std::move(input), std::move(output)};
+  }
+  static AggSpec Max(std::string input, std::string output) {
+    return {AggFunc::kMax, std::move(input), std::move(output)};
+  }
+  static AggSpec Avg(std::string input, std::string output) {
+    return {AggFunc::kAvg, std::move(input), std::move(output)};
+  }
+
+  std::string ToString() const;
+  bool operator==(const AggSpec& other) const {
+    return func == other.func && input == other.input &&
+           output == other.output;
+  }
+};
+
+// Streaming accumulator for one aggregate over one group.
+class Accumulator {
+ public:
+  explicit Accumulator(AggFunc func) : func_(func) {}
+
+  // Feeds one input value. For kCountStar pass any value (it is ignored).
+  void Add(const Value& value);
+
+  // Final value; ⊥ when nothing (non-⊥) was accumulated.
+  Value Finish() const;
+
+ private:
+  AggFunc func_;
+  int64_t count_ = 0;      // non-⊥ inputs (all rows for kCountStar)
+  double sum_ = 0;
+  bool all_int_ = true;    // SUM of only-int inputs stays INT64
+  Value extreme_;          // running MIN/MAX
+};
+
+// Result type of `func` given an input column of type `input_type`.
+DataType AggResultType(AggFunc func, DataType input_type);
+
+}  // namespace gpivot
+
+#endif  // GPIVOT_EXPR_AGGREGATE_H_

@@ -1,0 +1,293 @@
+#include "ivm/apply.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gpivot::ivm {
+
+namespace {
+
+// ⊥-aware aggregate arithmetic: ⊥ acts as the neutral element for addition
+// (a missing subgroup contributes nothing).
+Value AddValues(const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  if (a.is_int() && b.is_int()) return Value::Int(a.AsInt() + b.AsInt());
+  return Value::Real(a.AsNumeric() + b.AsNumeric());
+}
+
+Value SubValues(const Value& a, const Value& b) {
+  if (b.is_null()) return a;
+  if (a.is_null()) return Value::Null();
+  if (a.is_int() && b.is_int()) return Value::Int(a.AsInt() - b.AsInt());
+  return Value::Real(a.AsNumeric() - b.AsNumeric());
+}
+
+}  // namespace
+
+Result<MaterializedView> MaterializedView::Create(Table initial) {
+  if (!initial.has_key()) {
+    return Status::InvalidArgument(
+        "materialized views must carry a key (§6.1)");
+  }
+  GPIVOT_RETURN_NOT_OK(initial.ValidateKey());
+  GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> key_indices,
+                          initial.KeyIndices());
+  KeyIndex index(initial, std::move(key_indices));
+  return MaterializedView(std::move(initial), std::move(index));
+}
+
+void MaterializedView::Insert(Row row) {
+  index_.Insert(row, table_.num_rows());
+  table_.AddRow(std::move(row));
+}
+
+void MaterializedView::Update(size_t position, Row row) {
+  GPIVOT_CHECK(position < table_.num_rows()) << "Update out of range";
+  GPIVOT_CHECK(RowsEqualAt(table_.rows()[position], index_.key_indices(), row,
+                           index_.key_indices()))
+      << "Update must not change the key";
+  table_.mutable_rows()[position] = std::move(row);
+}
+
+void MaterializedView::Delete(size_t position) {
+  GPIVOT_CHECK(position < table_.num_rows()) << "Delete out of range";
+  std::vector<Row>& rows = table_.mutable_rows();
+  index_.EraseKey(ProjectRow(rows[position], index_.key_indices()));
+  size_t last = rows.size() - 1;
+  if (position != last) {
+    rows[position] = std::move(rows[last]);
+    index_.Reposition(rows[position], position);
+  }
+  rows.pop_back();
+}
+
+bool PivotLayout::GroupPresent(const Row& row, size_t combo) const {
+  for (size_t b = 0; b < spec.num_measures(); ++b) {
+    if (!row[CellIndex(combo, b)].is_null()) return true;
+  }
+  return false;
+}
+
+bool PivotLayout::AllGroupsNull(const Row& row) const {
+  for (size_t c = 0; c < spec.num_combos(); ++c) {
+    if (GroupPresent(row, c)) return false;
+  }
+  return true;
+}
+
+void PivotLayout::ClearGroup(Row* row, size_t combo) const {
+  for (size_t b = 0; b < spec.num_measures(); ++b) {
+    (*row)[CellIndex(combo, b)] = Value::Null();
+  }
+}
+
+Result<PivotLayout> PivotLayout::FromSchema(const Schema& view_schema,
+                                            PivotSpec spec) {
+  PivotLayout layout;
+  GPIVOT_ASSIGN_OR_RETURN(size_t first,
+                          view_schema.ColumnIndex(spec.OutputColumnName(0, 0)));
+  layout.first_cell_index = first;
+  size_t num_cells = spec.num_combos() * spec.num_measures();
+  for (size_t c = 0; c < spec.num_combos(); ++c) {
+    for (size_t b = 0; b < spec.num_measures(); ++b) {
+      GPIVOT_ASSIGN_OR_RETURN(
+          size_t position,
+          view_schema.ColumnIndex(spec.OutputColumnName(c, b)));
+      if (position != first + c * spec.num_measures() + b) {
+        return Status::InvalidArgument(
+            "pivoted cells are not contiguous in the view schema");
+      }
+    }
+  }
+  for (size_t i = 0; i < view_schema.num_columns(); ++i) {
+    if (i < first || i >= first + num_cells) layout.key_positions.push_back(i);
+  }
+  layout.spec = std::move(spec);
+  return layout;
+}
+
+Status ApplyInsertDelete(MaterializedView* view, const Delta& view_delta) {
+  const std::vector<size_t>& key_indices = view->key_indices();
+  for (const Row& row : view_delta.deletes.rows()) {
+    auto position = view->Lookup(row, key_indices);
+    if (!position.has_value()) {
+      return Status::ConstraintViolation(
+          StrCat("delete of absent view row ", RowToString(row)));
+    }
+    view->Delete(*position);
+  }
+  for (const Row& row : view_delta.inserts.rows()) {
+    view->Insert(row);
+  }
+  return Status::OK();
+}
+
+Status ApplyPivotUpdate(MaterializedView* view, const PivotLayout& layout,
+                        const Delta& pivoted_delta) {
+  const std::vector<size_t>& key_indices = view->key_indices();
+  // Delete case (Fig. 23 bottom): present delta groups turn to ⊥; rows with
+  // every group ⊥ leave the view.
+  for (const Row& d : pivoted_delta.deletes.rows()) {
+    auto position = view->Lookup(d, key_indices);
+    if (!position.has_value()) continue;  // key not in view: nothing to do
+    Row updated = view->RowAt(*position);
+    for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
+      if (layout.GroupPresent(d, c)) layout.ClearGroup(&updated, c);
+    }
+    if (layout.AllGroupsNull(updated)) {
+      view->Delete(*position);
+    } else {
+      view->Update(*position, std::move(updated));
+    }
+  }
+  // Insert case (Fig. 23 top): unmatched keys insert; matched keys take the
+  // delta's groups in place (function f).
+  for (const Row& d : pivoted_delta.inserts.rows()) {
+    auto position = view->Lookup(d, key_indices);
+    if (!position.has_value()) {
+      view->Insert(d);
+      continue;
+    }
+    Row updated = view->RowAt(*position);
+    for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
+      if (!layout.GroupPresent(d, c)) continue;
+      for (size_t b = 0; b < layout.spec.num_measures(); ++b) {
+        updated[layout.CellIndex(c, b)] = d[layout.CellIndex(c, b)];
+      }
+    }
+    view->Update(*position, std::move(updated));
+  }
+  return Status::OK();
+}
+
+Status ApplyPivotGroupByUpdate(MaterializedView* view,
+                               const PivotLayout& layout,
+                               const AggregateLayout& aggs,
+                               const Delta& pivoted_delta) {
+  const std::vector<size_t>& key_indices = view->key_indices();
+  const size_t count_measure = aggs.count_measure;
+  for (AggFunc func : aggs.measure_funcs) {
+    if (func != AggFunc::kSum && func != AggFunc::kCount &&
+        func != AggFunc::kCountStar) {
+      return Status::InvalidArgument(
+          "Fig. 27 rules maintain SUM/COUNT aggregates");
+    }
+  }
+
+  // Delete case: subtract partial aggregates; a subgroup whose count hits 0
+  // empties; a row whose subgroups all emptied leaves the view.
+  for (const Row& d : pivoted_delta.deletes.rows()) {
+    auto position = view->Lookup(d, key_indices);
+    if (!position.has_value()) {
+      return Status::ConstraintViolation(
+          StrCat("aggregate delete for absent group ", RowToString(d)));
+    }
+    Row updated = view->RowAt(*position);
+    for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
+      if (!layout.GroupPresent(d, c)) continue;
+      const Value& old_cnt = updated[layout.CellIndex(c, count_measure)];
+      const Value& del_cnt = d[layout.CellIndex(c, count_measure)];
+      if (old_cnt.is_null()) {
+        return Status::ConstraintViolation(
+            "delete delta touches an empty subgroup");
+      }
+      int64_t new_cnt = old_cnt.AsInt() -
+                        (del_cnt.is_null() ? 0 : del_cnt.AsInt());
+      if (new_cnt < 0) {
+        return Status::ConstraintViolation("subgroup count went negative");
+      }
+      if (new_cnt == 0) {
+        layout.ClearGroup(&updated, c);
+        continue;
+      }
+      for (size_t b = 0; b < layout.spec.num_measures(); ++b) {
+        size_t cell = layout.CellIndex(c, b);
+        updated[cell] = SubValues(updated[cell], d[cell]);
+      }
+      updated[layout.CellIndex(c, count_measure)] = Value::Int(new_cnt);
+    }
+    if (layout.AllGroupsNull(updated)) {
+      view->Delete(*position);
+    } else {
+      view->Update(*position, std::move(updated));
+    }
+  }
+
+  // Insert case: unmatched keys insert the partial aggregates as-is;
+  // matched keys add them subgroup-wise.
+  for (const Row& d : pivoted_delta.inserts.rows()) {
+    auto position = view->Lookup(d, key_indices);
+    if (!position.has_value()) {
+      view->Insert(d);
+      continue;
+    }
+    Row updated = view->RowAt(*position);
+    for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
+      if (!layout.GroupPresent(d, c)) continue;
+      if (!layout.GroupPresent(updated, c)) {
+        for (size_t b = 0; b < layout.spec.num_measures(); ++b) {
+          size_t cell = layout.CellIndex(c, b);
+          updated[cell] = d[cell];
+        }
+        continue;
+      }
+      for (size_t b = 0; b < layout.spec.num_measures(); ++b) {
+        size_t cell = layout.CellIndex(c, b);
+        updated[cell] = AddValues(updated[cell], d[cell]);
+      }
+    }
+    view->Update(*position, std::move(updated));
+  }
+  return Status::OK();
+}
+
+Status ApplySelectPivotUpdate(MaterializedView* view,
+                              const PivotLayout& layout,
+                              const CompiledExpr& condition,
+                              const Delta& pivoted_delta,
+                              const Table& recompute_candidates) {
+  const std::vector<size_t>& key_indices = view->key_indices();
+
+  // Delete case (Fig. 29 bottom): like Fig. 23, but the updated row is also
+  // re-checked against the (postponed) σ condition.
+  for (const Row& d : pivoted_delta.deletes.rows()) {
+    auto position = view->Lookup(d, key_indices);
+    if (!position.has_value()) continue;  // was filtered out before: stays out
+    Row updated = view->RowAt(*position);
+    for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
+      if (layout.GroupPresent(d, c)) layout.ClearGroup(&updated, c);
+    }
+    if (layout.AllGroupsNull(updated) || !ValueIsTrue(condition(updated))) {
+      view->Delete(*position);
+    } else {
+      view->Update(*position, std::move(updated));
+    }
+  }
+
+  // Insert case, matched rows (Fig. 29 top): in-place group updates. A row
+  // that satisfied a null-intolerant condition keeps satisfying it after
+  // cells are filled in, so no re-check is needed (§6.3.2 proof, case i).
+  for (const Row& d : pivoted_delta.inserts.rows()) {
+    auto position = view->Lookup(d, key_indices);
+    if (!position.has_value()) continue;  // handled by the recompute term
+    Row updated = view->RowAt(*position);
+    for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
+      if (!layout.GroupPresent(d, c)) continue;
+      for (size_t b = 0; b < layout.spec.num_measures(); ++b) {
+        updated[layout.CellIndex(c, b)] = d[layout.CellIndex(c, b)];
+      }
+    }
+    view->Update(*position, std::move(updated));
+  }
+
+  // Insert case, recompute term: keys the delta may have newly qualified.
+  for (const Row& candidate : recompute_candidates.rows()) {
+    if (view->Lookup(candidate, key_indices).has_value()) continue;
+    if (!ValueIsTrue(condition(candidate))) continue;
+    view->Insert(candidate);
+  }
+  return Status::OK();
+}
+
+}  // namespace gpivot::ivm

@@ -1,0 +1,116 @@
+#ifndef GPIVOT_IVM_APPLY_H_
+#define GPIVOT_IVM_APPLY_H_
+
+#include <vector>
+
+#include "core/pivot_spec.h"
+#include "expr/aggregate.h"
+#include "expr/expr.h"
+#include "ivm/delta.h"
+#include "relation/key_index.h"
+#include "relation/table.h"
+#include "util/result.h"
+
+namespace gpivot::ivm {
+
+// A materialized view: a keyed table plus a hash index on its key, so the
+// apply phase can MERGE deltas (insert / in-place update / delete in one
+// pass) — the in-memory analogue of the SQL MERGE the paper uses (§7.1).
+class MaterializedView {
+ public:
+  // `initial` must carry a declared key; keys must be unique.
+  static Result<MaterializedView> Create(Table initial);
+
+  const Table& table() const { return table_; }
+  size_t num_rows() const { return table_.num_rows(); }
+  const std::vector<size_t>& key_indices() const {
+    return index_.key_indices();
+  }
+
+  // Position of the row whose key matches `row` at `probe_indices`.
+  std::optional<size_t> Lookup(const Row& row,
+                               const std::vector<size_t>& probe_indices) const {
+    return index_.Lookup(row, probe_indices);
+  }
+
+  // Inserts a full row; its key must be absent.
+  void Insert(Row row);
+  // Replaces the row at `position` (key must not change).
+  void Update(size_t position, Row row);
+  // Deletes the row at `position` (swap-with-last).
+  void Delete(size_t position);
+
+  const Row& RowAt(size_t position) const { return table_.rows()[position]; }
+
+ private:
+  MaterializedView(Table table, KeyIndex index)
+      : table_(std::move(table)), index_(std::move(index)) {}
+
+  Table table_;
+  KeyIndex index_;
+};
+
+// Describes where the pivoted cells live in a view's schema: cell (c, b)
+// of `spec` sits at column `first_cell_index + c * num_measures + b`, and
+// the key columns are everything else. Computed once per view.
+struct PivotLayout {
+  PivotSpec spec;
+  std::vector<size_t> key_positions;    // key column positions in the view
+  size_t first_cell_index = 0;          // cells are contiguous from here
+
+  size_t CellIndex(size_t combo, size_t measure) const {
+    return first_cell_index + combo * spec.num_measures() + measure;
+  }
+  // True when any cell of `combo` in `row` is non-⊥ (the paper's group
+  // presence test).
+  bool GroupPresent(const Row& row, size_t combo) const;
+  // True when every cell of every combo in `row` is ⊥.
+  bool AllGroupsNull(const Row& row) const;
+  // Sets every cell of `combo` in `row` to ⊥.
+  void ClearGroup(Row* row, size_t combo) const;
+
+  // Derives the layout from a view schema produced by GPivot(spec).
+  static Result<PivotLayout> FromSchema(const Schema& view_schema,
+                                        PivotSpec spec);
+};
+
+// Generic apply for the insert/delete propagation rules: bag-deletes the
+// delta's delete rows (by key) and inserts its insert rows. The deletion +
+// re-insertion churn this causes on pivoted views is the cost the update
+// rules avoid (§2.3).
+Status ApplyInsertDelete(MaterializedView* view, const Delta& view_delta);
+
+// Fig. 23: update propagation rules for a GPIVOT at the top of the plan.
+// `pivoted_delta.inserts` = GPIVOT(ΔV), `pivoted_delta.deletes` = GPIVOT(∇V)
+// where V is the pivot input. Deletes are applied first.
+Status ApplyPivotUpdate(MaterializedView* view, const PivotLayout& layout,
+                        const Delta& pivoted_delta);
+
+// Fig. 27: combined update rules for GPIVOT over GROUPBY. The measures are
+// aggregates; `measure_funcs[b]` gives each one's function and
+// `count_measure` indexes the per-group COUNT(*) measure that decides group
+// emptiness. `pivoted_delta` holds GPIVOT(F(ΔV)) / GPIVOT(F(∇V)).
+struct AggregateLayout {
+  std::vector<AggFunc> measure_funcs;
+  size_t count_measure = 0;
+};
+Status ApplyPivotGroupByUpdate(MaterializedView* view,
+                               const PivotLayout& layout,
+                               const AggregateLayout& aggs,
+                               const Delta& pivoted_delta);
+
+// Fig. 29: combined update rules for SELECT over GPIVOT. `condition` is the
+// σ's predicate compiled against the view schema. `recompute_candidates`
+// holds the recomputed pivot rows for keys that the insert delta might have
+// newly qualified (GPIVOT(π_K(σ_c'(ΔV)) ⋉ (V ⊎ ΔV)) in the paper); rows
+// whose key is absent from the view and that satisfy the condition are
+// inserted.
+Status ApplySelectPivotUpdate(MaterializedView* view,
+                              const PivotLayout& layout,
+                              const CompiledExpr& condition,
+                              const Delta& pivoted_delta,
+                              const Table& recompute_candidates);
+
+}  // namespace gpivot::ivm
+
+#endif  // GPIVOT_IVM_APPLY_H_

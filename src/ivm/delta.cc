@@ -1,0 +1,40 @@
+#include "ivm/delta.h"
+
+#include "exec/basic_ops.h"
+#include "util/string_util.h"
+
+namespace gpivot::ivm {
+
+std::string Delta::ToString() const {
+  return StrCat("Δ(", inserts.num_rows(), " inserts, ", deletes.num_rows(),
+                " deletes)");
+}
+
+Status ApplyDeltaToTable(Table* table, const Delta& delta) {
+  if (!delta.deletes.empty()) {
+    if (delta.deletes.schema() != table->schema()) {
+      return Status::InvalidArgument("delete delta schema mismatch");
+    }
+    size_t before = table->num_rows();
+    GPIVOT_ASSIGN_OR_RETURN(Table remaining,
+                            exec::BagDifference(*table, delta.deletes));
+    if (before - remaining.num_rows() != delta.deletes.num_rows()) {
+      return Status::ConstraintViolation(
+          "some delete-delta rows did not match any stored row");
+    }
+    std::vector<std::string> key = table->key();
+    *table = std::move(remaining);
+    GPIVOT_RETURN_NOT_OK(table->SetKey(std::move(key)));
+  }
+  if (!delta.inserts.empty()) {
+    if (delta.inserts.schema() != table->schema()) {
+      return Status::InvalidArgument("insert delta schema mismatch");
+    }
+    for (const Row& row : delta.inserts.rows()) {
+      table->AddRow(row);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gpivot::ivm

@@ -1,0 +1,37 @@
+#ifndef GPIVOT_IVM_DELTA_H_
+#define GPIVOT_IVM_DELTA_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "relation/table.h"
+#include "util/result.h"
+
+namespace gpivot::ivm {
+
+// A batch of changes to one relation under bag semantics: `inserts` (Δ) are
+// added and `deletes` (∇) removed. Updates are modeled as delete + insert,
+// as in the paper (§9 lists native update maintenance as future work).
+struct Delta {
+  Table inserts;
+  Table deletes;
+
+  static Delta Empty(const Schema& schema) {
+    return Delta{Table(schema), Table(schema)};
+  }
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+
+  std::string ToString() const;
+};
+
+// Changes per base table, keyed by catalog table name.
+using SourceDeltas = std::unordered_map<std::string, Delta>;
+
+// Applies `delta` to `table` in place: bag-deletes `delta.deletes` (each
+// delete row must match an existing row), then appends `delta.inserts`.
+Status ApplyDeltaToTable(Table* table, const Delta& delta);
+
+}  // namespace gpivot::ivm
+
+#endif  // GPIVOT_IVM_DELTA_H_

@@ -1,0 +1,98 @@
+#ifndef GPIVOT_IVM_MAINTENANCE_H_
+#define GPIVOT_IVM_MAINTENANCE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "algebra/plan.h"
+#include "ivm/apply.h"
+#include "ivm/delta.h"
+#include "ivm/propagate.h"
+#include "util/result.h"
+
+namespace gpivot::ivm {
+
+// How a view is refreshed (§7's compared methods).
+enum class RefreshStrategy {
+  // Re-evaluate the whole view query against the post-update database.
+  kFullRecompute,
+  // Propagate (Δ, ∇) through the *original* plan — intermediate GPIVOTs use
+  // the Fig. 22 insert/delete rules — and apply as bag deletes + inserts.
+  kInsertDelete,
+  // §3: pull pivots to the top (combining adjacent ones), propagate deltas
+  // below the top pivot, apply with the Fig. 23 update rules. When the
+  // pivot sits over a GROUPBY, the group deltas come from the [18]
+  // insert/delete rules — the View-3 baseline of Fig. 40/41.
+  kUpdate,
+  // View 2 baseline: push the σ below the pivot first (Eq. 7 self-join),
+  // then proceed exactly as kUpdate. Propagation through the introduced
+  // self-join generates the extra join terms §7.2.2 measures.
+  kSelectPushdownUpdate,
+  // Fig. 29: keep σ∘GPIVOT paired on top and use the combined
+  // SELECT/GPIVOT update rules.
+  kCombinedSelect,
+  // Fig. 27: GPIVOT over GROUPBY maintained with the combined update rules
+  // (COUNT(*) per subgroup decides emptiness; auto-added if missing, Fig. 28).
+  kCombinedGroupBy,
+};
+
+const char* RefreshStrategyToString(RefreshStrategy strategy);
+
+// A compiled maintenance plan: the (possibly rewritten) query whose output
+// the materialized view stores, plus everything the propagate and apply
+// phases need. Compile once per view definition; Refresh per delta batch.
+class MaintenancePlan {
+ public:
+  static Result<MaintenancePlan> Compile(PlanPtr view_query,
+                                         RefreshStrategy strategy);
+
+  // The plan whose evaluation defines the view contents. Differs from the
+  // original when the strategy rewrites the query (pullup/pushdown/Fig. 28
+  // COUNT(*) injection).
+  const PlanPtr& effective_query() const { return effective_query_; }
+  RefreshStrategy strategy() const { return strategy_; }
+
+  // Propagates `deltas` (relative to `pre_catalog`) and applies the result
+  // to `view`. Does not touch the base tables themselves.
+  Status Refresh(const Catalog& pre_catalog, const SourceDeltas& deltas,
+                 MaterializedView* view) const;
+
+  std::string ToString() const;
+
+ private:
+  MaintenancePlan() = default;
+
+  Status RefreshFullRecompute(DeltaPropagator* propagator,
+                              MaterializedView* view) const;
+  Status RefreshInsertDelete(DeltaPropagator* propagator,
+                             MaterializedView* view) const;
+  Status RefreshPivotUpdate(DeltaPropagator* propagator,
+                            MaterializedView* view) const;
+  Status RefreshCombinedGroupBy(DeltaPropagator* propagator,
+                                MaterializedView* view) const;
+  Status RefreshCombinedSelect(DeltaPropagator* propagator,
+                               MaterializedView* view) const;
+
+  RefreshStrategy strategy_ = RefreshStrategy::kFullRecompute;
+  PlanPtr original_query_;
+  PlanPtr effective_query_;
+
+  // kUpdate / kSelectPushdownUpdate / kCombinedSelect / kCombinedGroupBy:
+  std::optional<PivotLayout> layout_;
+  PlanPtr pivot_child_;  // subtree below the top pivot
+
+  // kCombinedGroupBy:
+  std::optional<AggregateLayout> agg_layout_;
+  PlanPtr group_child_;                   // subtree below the GROUPBY
+  std::vector<std::string> group_columns_;
+  std::vector<AggSpec> group_aggregates_;
+
+  // kCombinedSelect:
+  ExprPtr select_condition_;
+  std::unordered_set<size_t> condition_combos_;  // combos the σ references
+};
+
+}  // namespace gpivot::ivm
+
+#endif  // GPIVOT_IVM_MAINTENANCE_H_

@@ -1,0 +1,291 @@
+#include "ivm/propagate.h"
+
+#include <unordered_set>
+
+#include "core/gpivot.h"
+#include "exec/basic_ops.h"
+#include "exec/group_by.h"
+#include "exec/join.h"
+#include "rewrite/rules.h"
+#include "util/check.h"
+
+namespace gpivot::ivm {
+
+DeltaPropagator::DeltaPropagator(const Catalog* pre_catalog,
+                                 const SourceDeltas* deltas)
+    : pre_(pre_catalog), deltas_(deltas), post_(*pre_catalog) {}
+
+const Catalog& DeltaPropagator::PostCatalog() {
+  if (!post_built_) {
+    // The post-state catalog shares every unchanged table with the pre
+    // state (copy-on-write); only delta'd tables are cloned and patched.
+    for (const auto& [name, delta] : *deltas_) {
+      if (delta.empty()) continue;
+      Table* table = post_.GetMutableTable(name);
+      Status st = ApplyDeltaToTable(table, delta);
+      GPIVOT_CHECK(st.ok()) << "post-state build failed: " << st.ToString();
+    }
+    post_built_ = true;
+  }
+  return post_;
+}
+
+Result<Table> DeltaPropagator::EvaluatePre(const PlanPtr& plan) {
+  return Evaluate(plan, *pre_);
+}
+
+Result<Table> DeltaPropagator::EvaluatePost(const PlanPtr& plan) {
+  return Evaluate(plan, PostCatalog());
+}
+
+Result<std::shared_ptr<const Table>> DeltaPropagator::EvaluateRef(
+    const PlanPtr& plan, const Catalog& catalog,
+    std::unordered_map<const PlanNode*, std::shared_ptr<const Table>>* memo) {
+  if (plan->kind() == PlanKind::kScan) {
+    const auto* scan = static_cast<const ScanNode*>(plan.get());
+    return catalog.GetSharedTable(scan->table_name());
+  }
+  auto it = memo->find(plan.get());
+  if (it != memo->end()) return it->second;
+  GPIVOT_ASSIGN_OR_RETURN(Table result, Evaluate(plan, catalog));
+  auto shared = std::make_shared<const Table>(std::move(result));
+  memo->emplace(plan.get(), shared);
+  return std::shared_ptr<const Table>(shared);
+}
+
+Result<std::shared_ptr<const Table>> DeltaPropagator::EvaluatePreRef(
+    const PlanPtr& plan) {
+  return EvaluateRef(plan, *pre_, &pre_memo_);
+}
+
+Result<std::shared_ptr<const Table>> DeltaPropagator::EvaluatePostRef(
+    const PlanPtr& plan) {
+  return EvaluateRef(plan, PostCatalog(), &post_memo_);
+}
+
+Result<bool> DeltaPropagator::Unchanged(const PlanPtr& plan) {
+  if (plan->kind() == PlanKind::kScan) {
+    const auto* scan = static_cast<const ScanNode*>(plan.get());
+    auto it = deltas_->find(scan->table_name());
+    return it == deltas_->end() || it->second.empty();
+  }
+  for (const PlanPtr& child : plan->children()) {
+    GPIVOT_ASSIGN_OR_RETURN(bool child_unchanged, Unchanged(child));
+    if (!child_unchanged) return false;
+  }
+  return true;
+}
+
+Result<Delta> DeltaPropagator::Propagate(const PlanPtr& plan) {
+  GPIVOT_CHECK(plan != nullptr) << "Propagate on null plan";
+  GPIVOT_ASSIGN_OR_RETURN(bool unchanged, Unchanged(plan));
+  if (unchanged) {
+    GPIVOT_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema());
+    return Delta::Empty(schema);
+  }
+  return PropagateImpl(plan);
+}
+
+Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      const auto* scan = static_cast<const ScanNode*>(plan.get());
+      auto it = deltas_->find(scan->table_name());
+      GPIVOT_CHECK(it != deltas_->end()) << "scan delta vanished";
+      Delta delta = it->second;
+      // Deltas travel without declared keys.
+      GPIVOT_RETURN_NOT_OK(delta.inserts.SetKey({}));
+      GPIVOT_RETURN_NOT_OK(delta.deletes.SetKey({}));
+      return delta;
+    }
+
+    case PlanKind::kSelect: {
+      // σ: Δσ(V) = σ(ΔV), ∇σ(V) = σ(∇V).
+      const auto* node = static_cast<const SelectNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Delta child, Propagate(node->child()));
+      GPIVOT_ASSIGN_OR_RETURN(Table ins,
+                              exec::Select(child.inserts, node->predicate()));
+      GPIVOT_ASSIGN_OR_RETURN(Table del,
+                              exec::Select(child.deletes, node->predicate()));
+      return Delta{std::move(ins), std::move(del)};
+    }
+
+    case PlanKind::kProject: {
+      const auto* node = static_cast<const ProjectNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Delta child, Propagate(node->child()));
+      GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> kept,
+                              node->KeptColumns());
+      GPIVOT_ASSIGN_OR_RETURN(Table ins, exec::Project(child.inserts, kept));
+      GPIVOT_ASSIGN_OR_RETURN(Table del, exec::Project(child.deletes, kept));
+      return Delta{std::move(ins), std::move(del)};
+    }
+
+    case PlanKind::kMap: {
+      const auto* node = static_cast<const MapNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Delta child, Propagate(node->child()));
+      GPIVOT_ASSIGN_OR_RETURN(Table ins,
+                              exec::ProjectExprs(child.inserts,
+                                                 node->outputs()));
+      GPIVOT_ASSIGN_OR_RETURN(Table del,
+                              exec::ProjectExprs(child.deletes,
+                                                 node->outputs()));
+      return Delta{std::move(ins), std::move(del)};
+    }
+
+    case PlanKind::kJoin: {
+      // Classic bag rules [11]:
+      //   ∇(A⋈B) = ∇A ⋈ B_pre  ⊎  (A_pre ∸ ∇A) ⋈ ∇B
+      //   Δ(A⋈B) = ΔA ⋈ B_post ⊎  (A_post ∸ ΔA) ⋈ ΔB
+      const auto* node = static_cast<const JoinNode*>(plan.get());
+      exec::JoinSpec spec;
+      spec.left_keys = node->left_keys();
+      spec.right_keys = node->right_keys();
+      spec.type = exec::JoinType::kInner;
+      spec.residual = node->residual();
+
+      GPIVOT_ASSIGN_OR_RETURN(bool right_unchanged,
+                              Unchanged(node->right()));
+      GPIVOT_ASSIGN_OR_RETURN(bool left_unchanged, Unchanged(node->left()));
+
+      if (right_unchanged) {
+        GPIVOT_ASSIGN_OR_RETURN(Delta left, Propagate(node->left()));
+        GPIVOT_ASSIGN_OR_RETURN(auto right, EvaluatePreRef(node->right()));
+        GPIVOT_ASSIGN_OR_RETURN(Table ins,
+                                exec::HashJoin(left.inserts, *right, spec));
+        GPIVOT_ASSIGN_OR_RETURN(Table del,
+                                exec::HashJoin(left.deletes, *right, spec));
+        return Delta{std::move(ins), std::move(del)};
+      }
+      if (left_unchanged) {
+        GPIVOT_ASSIGN_OR_RETURN(Delta right, Propagate(node->right()));
+        GPIVOT_ASSIGN_OR_RETURN(auto left, EvaluatePreRef(node->left()));
+        GPIVOT_ASSIGN_OR_RETURN(Table ins,
+                                exec::HashJoin(*left, right.inserts, spec));
+        GPIVOT_ASSIGN_OR_RETURN(Table del,
+                                exec::HashJoin(*left, right.deletes, spec));
+        return Delta{std::move(ins), std::move(del)};
+      }
+
+      GPIVOT_ASSIGN_OR_RETURN(Delta left, Propagate(node->left()));
+      GPIVOT_ASSIGN_OR_RETURN(Delta right, Propagate(node->right()));
+      GPIVOT_ASSIGN_OR_RETURN(auto left_pre, EvaluatePreRef(node->left()));
+      GPIVOT_ASSIGN_OR_RETURN(auto left_post, EvaluatePostRef(node->left()));
+      GPIVOT_ASSIGN_OR_RETURN(auto right_pre, EvaluatePreRef(node->right()));
+      GPIVOT_ASSIGN_OR_RETURN(auto right_post,
+                              EvaluatePostRef(node->right()));
+
+      GPIVOT_ASSIGN_OR_RETURN(Table del1,
+                              exec::HashJoin(left.deletes, *right_pre, spec));
+      GPIVOT_ASSIGN_OR_RETURN(Table left_mid,
+                              exec::BagDifference(*left_pre, left.deletes));
+      GPIVOT_ASSIGN_OR_RETURN(Table del2,
+                              exec::HashJoin(left_mid, right.deletes, spec));
+      GPIVOT_ASSIGN_OR_RETURN(Table del, exec::UnionAll(del1, del2));
+
+      GPIVOT_ASSIGN_OR_RETURN(Table ins1,
+                              exec::HashJoin(left.inserts, *right_post, spec));
+      GPIVOT_ASSIGN_OR_RETURN(Table left_rest,
+                              exec::BagDifference(*left_post, left.inserts));
+      GPIVOT_ASSIGN_OR_RETURN(Table ins2,
+                              exec::HashJoin(left_rest, right.inserts, spec));
+      GPIVOT_ASSIGN_OR_RETURN(Table ins, exec::UnionAll(ins1, ins2));
+      return Delta{std::move(ins), std::move(del)};
+    }
+
+    case PlanKind::kGroupBy: {
+      // [18] insert/delete rules: identify the affected groups and
+      // recompute them in both states. This is the expensive baseline the
+      // Fig. 27 combined update rules avoid.
+      const auto* node = static_cast<const GroupByNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Delta child, Propagate(node->child()));
+      GPIVOT_ASSIGN_OR_RETURN(
+          auto affected_ins,
+          exec::CollectKeySet(child.inserts, node->group_columns()));
+      GPIVOT_ASSIGN_OR_RETURN(
+          auto affected_del,
+          exec::CollectKeySet(child.deletes, node->group_columns()));
+      for (const Row& key : affected_del) affected_ins.insert(key);
+      const auto& affected = affected_ins;
+
+      GPIVOT_ASSIGN_OR_RETURN(auto pre, EvaluatePreRef(node->child()));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table pre_affected,
+          exec::SemiJoinKeySet(*pre, node->group_columns(), affected));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table del, exec::GroupBy(pre_affected, node->group_columns(),
+                                   node->aggregates()));
+
+      GPIVOT_ASSIGN_OR_RETURN(auto post, EvaluatePostRef(node->child()));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table post_affected,
+          exec::SemiJoinKeySet(*post, node->group_columns(), affected));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table ins, exec::GroupBy(post_affected, node->group_columns(),
+                                   node->aggregates()));
+      GPIVOT_RETURN_NOT_OK(ins.SetKey({}));
+      GPIVOT_RETURN_NOT_OK(del.SetKey({}));
+      return Delta{std::move(ins), std::move(del)};
+    }
+
+    case PlanKind::kGPivot: {
+      // Fig. 22 insert/delete rules, realized as: find the affected keys,
+      // re-pivot them in the pre state (the rows to delete) and in the post
+      // state (the rows to insert). This accesses the pivot's input in both
+      // states — exactly the cost §2.3 attributes to intermediate pivots.
+      const auto* node = static_cast<const GPivotNode*>(plan.get());
+      const PivotSpec& spec = node->spec();
+      GPIVOT_ASSIGN_OR_RETURN(Delta child, Propagate(node->child()));
+      GPIVOT_ASSIGN_OR_RETURN(Schema child_schema,
+                              node->child()->OutputSchema());
+      GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key_names,
+                              spec.KeyColumns(child_schema));
+
+      // Only delta rows whose dimension values are listed affect the output
+      // — except under the §8 keep-⊥-rows variant, where any row decides
+      // key presence.
+      Table ins_listed = child.inserts;
+      Table del_listed = child.deletes;
+      if (!spec.keep_all_null_rows) {
+        ExprPtr listed = rewrite::ComboDisjunction(spec);
+        GPIVOT_ASSIGN_OR_RETURN(ins_listed,
+                                exec::Select(child.inserts, listed));
+        GPIVOT_ASSIGN_OR_RETURN(del_listed,
+                                exec::Select(child.deletes, listed));
+      }
+      GPIVOT_ASSIGN_OR_RETURN(auto affected,
+                              exec::CollectKeySet(ins_listed, key_names));
+      GPIVOT_ASSIGN_OR_RETURN(auto affected2,
+                              exec::CollectKeySet(del_listed, key_names));
+      for (const Row& key : affected2) affected.insert(key);
+
+      GPIVOT_ASSIGN_OR_RETURN(auto pre, EvaluatePreRef(node->child()));
+      GPIVOT_ASSIGN_OR_RETURN(Table pre_affected,
+                              exec::SemiJoinKeySet(*pre, key_names, affected));
+      GPIVOT_ASSIGN_OR_RETURN(Table del, GPivot(pre_affected, spec));
+
+      GPIVOT_ASSIGN_OR_RETURN(auto post, EvaluatePostRef(node->child()));
+      GPIVOT_ASSIGN_OR_RETURN(Table post_affected,
+                              exec::SemiJoinKeySet(*post, key_names,
+                                                   affected));
+      GPIVOT_ASSIGN_OR_RETURN(Table ins, GPivot(post_affected, spec));
+      GPIVOT_RETURN_NOT_OK(ins.SetKey({}));
+      GPIVOT_RETURN_NOT_OK(del.SetKey({}));
+      return Delta{std::move(ins), std::move(del)};
+    }
+
+    case PlanKind::kGUnpivot: {
+      // Fig. 22: GUNPIVOT distributes over ⊎ and ∸, so deltas unpivot
+      // independently.
+      const auto* node = static_cast<const GUnpivotNode*>(plan.get());
+      GPIVOT_ASSIGN_OR_RETURN(Delta child, Propagate(node->child()));
+      GPIVOT_ASSIGN_OR_RETURN(Table ins,
+                              GUnpivot(child.inserts, node->spec()));
+      GPIVOT_ASSIGN_OR_RETURN(Table del,
+                              GUnpivot(child.deletes, node->spec()));
+      return Delta{std::move(ins), std::move(del)};
+    }
+  }
+  return Status::Internal("unknown plan kind in Propagate");
+}
+
+}  // namespace gpivot::ivm

@@ -1,0 +1,64 @@
+#ifndef GPIVOT_IVM_PROPAGATE_H_
+#define GPIVOT_IVM_PROPAGATE_H_
+
+#include "algebra/plan.h"
+#include "ivm/delta.h"
+#include "util/result.h"
+
+namespace gpivot::ivm {
+
+// Propagate phase (§3): computes the delta of any plan's output from source
+// deltas, using the classic relational propagation rules [11, 18] plus the
+// paper's Fig. 22 insert/delete rules for intermediate GPIVOT/GUNPIVOT
+// operators.
+//
+// The propagator sees two database states: `pre` (the catalog as passed in)
+// and `post` (pre with the deltas applied). Join and pivot rules evaluate
+// subtrees in whichever state the algebra requires. Subtree evaluations are
+// memoized per state so shared subplans are computed once.
+class DeltaPropagator {
+ public:
+  // Both referents must outlive the propagator. `pre_catalog` is copied to
+  // build the post-state catalog.
+  DeltaPropagator(const Catalog* pre_catalog, const SourceDeltas* deltas);
+
+  // (Δ, ∇) of `plan`'s output.
+  Result<Delta> Propagate(const PlanPtr& plan);
+
+  // Evaluates `plan` against the pre-update / post-update database.
+  Result<Table> EvaluatePre(const PlanPtr& plan);
+  Result<Table> EvaluatePost(const PlanPtr& plan);
+
+  // Reference-returning variants: scans alias the catalog's table (no copy)
+  // and non-scan subtrees are evaluated once and memoized for the lifetime
+  // of this propagator.
+  Result<std::shared_ptr<const Table>> EvaluatePreRef(const PlanPtr& plan);
+  Result<std::shared_ptr<const Table>> EvaluatePostRef(const PlanPtr& plan);
+
+  // True when no base table under `plan` has a delta (the subtree is
+  // unchanged, so its delta is empty and pre == post).
+  Result<bool> Unchanged(const PlanPtr& plan);
+
+  const SourceDeltas& deltas() const { return *deltas_; }
+
+ private:
+  Result<Delta> PropagateImpl(const PlanPtr& plan);
+  Result<std::shared_ptr<const Table>> EvaluateRef(
+      const PlanPtr& plan, const Catalog& catalog,
+      std::unordered_map<const PlanNode*, std::shared_ptr<const Table>>* memo);
+  // Builds the post-state catalog on first use: strategies whose rules never
+  // re-access the updated base (e.g. the Fig. 23 update rules under deletes)
+  // then never pay for patching large tables.
+  const Catalog& PostCatalog();
+
+  const Catalog* pre_;
+  const SourceDeltas* deltas_;
+  Catalog post_;
+  bool post_built_ = false;
+  std::unordered_map<const PlanNode*, std::shared_ptr<const Table>> pre_memo_;
+  std::unordered_map<const PlanNode*, std::shared_ptr<const Table>> post_memo_;
+};
+
+}  // namespace gpivot::ivm
+
+#endif  // GPIVOT_IVM_PROPAGATE_H_

@@ -1,0 +1,67 @@
+#include "ivm/view_manager.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gpivot::ivm {
+
+Status ViewManager::DefineView(const std::string& name, PlanPtr query,
+                               RefreshStrategy strategy) {
+  if (views_.count(name) > 0) {
+    return Status::InvalidArgument(StrCat("view '", name, "' already exists"));
+  }
+  GPIVOT_ASSIGN_OR_RETURN(MaintenancePlan plan,
+                          MaintenancePlan::Compile(query, strategy));
+  GPIVOT_ASSIGN_OR_RETURN(Table initial,
+                          Evaluate(plan.effective_query(), catalog_));
+  GPIVOT_ASSIGN_OR_RETURN(MaterializedView view,
+                          MaterializedView::Create(std::move(initial)));
+  views_.emplace(name, ViewState{std::move(plan), std::move(view)});
+  return Status::OK();
+}
+
+Result<const MaterializedView*> ViewManager::GetView(
+    const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound(StrCat("view '", name, "' not defined"));
+  }
+  return &it->second.view;
+}
+
+Result<const MaintenancePlan*> ViewManager::GetPlan(
+    const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound(StrCat("view '", name, "' not defined"));
+  }
+  return &it->second.plan;
+}
+
+Status ViewManager::ApplyUpdate(const SourceDeltas& deltas) {
+  GPIVOT_RETURN_NOT_OK(RefreshViews(deltas));
+  return AdvanceBase(deltas);
+}
+
+Status ViewManager::RefreshViews(const SourceDeltas& deltas) {
+  for (auto& [name, state] : views_) {
+    GPIVOT_RETURN_NOT_OK(state.plan.Refresh(catalog_, deltas, &state.view));
+  }
+  return Status::OK();
+}
+
+Status ViewManager::AdvanceBase(const SourceDeltas& deltas) {
+  for (const auto& [table_name, delta] : deltas) {
+    Table* table = catalog_.GetMutableTable(table_name);
+    GPIVOT_RETURN_NOT_OK(ApplyDeltaToTable(table, delta));
+  }
+  return Status::OK();
+}
+
+Result<Table> ViewManager::RecomputeFromScratch(
+    const std::string& name) const {
+  GPIVOT_ASSIGN_OR_RETURN(const MaintenancePlan* plan, GetPlan(name));
+  return Evaluate(plan->effective_query(), catalog_);
+}
+
+}  // namespace gpivot::ivm

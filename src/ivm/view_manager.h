@@ -1,0 +1,58 @@
+#ifndef GPIVOT_IVM_VIEW_MANAGER_H_
+#define GPIVOT_IVM_VIEW_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "algebra/plan.h"
+#include "ivm/maintenance.h"
+#include "util/result.h"
+
+namespace gpivot::ivm {
+
+// Owns the base tables and a set of materialized views, keeping the views
+// consistent with the base as delta batches arrive. This is the end-to-end
+// entry point benchmarks and examples use.
+class ViewManager {
+ public:
+  explicit ViewManager(Catalog base) : catalog_(std::move(base)) {}
+
+  const Catalog& catalog() const { return catalog_; }
+  Catalog* mutable_catalog() { return &catalog_; }
+
+  // Compiles a maintenance plan for `query` under `strategy`, materializes
+  // the (possibly rewritten) view, and registers it under `name`.
+  Status DefineView(const std::string& name, PlanPtr query,
+                    RefreshStrategy strategy);
+
+  Result<const MaterializedView*> GetView(const std::string& name) const;
+  Result<const MaintenancePlan*> GetPlan(const std::string& name) const;
+
+  // Refreshes every registered view for `deltas` (each with its own
+  // strategy), then applies the deltas to the base tables.
+  Status ApplyUpdate(const SourceDeltas& deltas);
+
+  // The two halves of ApplyUpdate, exposed separately so benchmarks can
+  // time the view-maintenance work in isolation (the paper's refresh cost
+  // excludes the base-table update itself, which every strategy pays
+  // identically). RefreshViews must run before AdvanceBase.
+  Status RefreshViews(const SourceDeltas& deltas);
+  Status AdvanceBase(const SourceDeltas& deltas);
+
+  // Convenience for tests: evaluates `name`'s effective query from scratch
+  // against the current base tables.
+  Result<Table> RecomputeFromScratch(const std::string& name) const;
+
+ private:
+  struct ViewState {
+    MaintenancePlan plan;
+    MaterializedView view;
+  };
+
+  Catalog catalog_;
+  std::unordered_map<std::string, ViewState> views_;
+};
+
+}  // namespace gpivot::ivm
+
+#endif  // GPIVOT_IVM_VIEW_MANAGER_H_

@@ -1,0 +1,46 @@
+#include "relation/key_index.h"
+
+#include "util/check.h"
+
+namespace gpivot {
+
+KeyIndex::KeyIndex(const Table& table, std::vector<size_t> key_indices)
+    : key_indices_(std::move(key_indices)) {
+  map_.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    Row key = ProjectRow(table.rows()[i], key_indices_);
+    auto [it, inserted] = map_.emplace(std::move(key), i);
+    GPIVOT_CHECK(inserted) << "KeyIndex: duplicate key "
+                           << RowToString(it->first);
+  }
+}
+
+std::optional<size_t> KeyIndex::Lookup(
+    const Row& probe, const std::vector<size_t>& probe_indices) const {
+  return LookupKey(ProjectRow(probe, probe_indices));
+}
+
+std::optional<size_t> KeyIndex::LookupKey(const Row& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KeyIndex::Insert(const Row& row, size_t position) {
+  Row key = ProjectRow(row, key_indices_);
+  auto [it, inserted] = map_.emplace(std::move(key), position);
+  GPIVOT_CHECK(inserted) << "KeyIndex::Insert duplicate key "
+                         << RowToString(it->first);
+}
+
+void KeyIndex::EraseKey(const Row& key) { map_.erase(key); }
+
+void KeyIndex::Reposition(const Row& row, size_t to) {
+  Row key = ProjectRow(row, key_indices_);
+  auto it = map_.find(key);
+  GPIVOT_CHECK(it != map_.end())
+      << "KeyIndex::Reposition unknown key " << RowToString(key);
+  it->second = to;
+}
+
+}  // namespace gpivot

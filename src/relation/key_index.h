@@ -1,0 +1,55 @@
+#ifndef GPIVOT_RELATION_KEY_INDEX_H_
+#define GPIVOT_RELATION_KEY_INDEX_H_
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/row.h"
+#include "relation/table.h"
+
+namespace gpivot {
+
+// Hash index from a key sub-row to a row position in a table. This is the
+// in-memory analogue of the unique index commercial engines keep on a
+// materialized view's key; the MERGE apply phase relies on it.
+//
+// The index stores row positions, so it must be rebuilt (or patched via
+// Insert/Erase/MoveLast) when the underlying table mutates.
+class KeyIndex {
+ public:
+  // Builds an index over `table` using `key_indices` (positions into the
+  // table's schema). Duplicate keys abort: callers index keyed tables only.
+  KeyIndex(const Table& table, std::vector<size_t> key_indices);
+
+  const std::vector<size_t>& key_indices() const { return key_indices_; }
+
+  // Position of the row whose key equals the key of `probe` projected at
+  // `probe_indices`, if any.
+  std::optional<size_t> Lookup(const Row& probe,
+                               const std::vector<size_t>& probe_indices) const;
+
+  // Position of the row whose key equals `key` (already projected).
+  std::optional<size_t> LookupKey(const Row& key) const;
+
+  // Registers the row at `position` (its key must be absent).
+  void Insert(const Row& row, size_t position);
+
+  // Removes the entry for `key`. No-op when absent.
+  void EraseKey(const Row& key);
+
+  // Informs the index that the row previously at `from` now lives at `to`
+  // (swap-with-last deletion in the table).
+  void Reposition(const Row& row, size_t to);
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::vector<size_t> key_indices_;
+  std::unordered_map<Row, size_t, RowHash, RowEq> map_;
+};
+
+}  // namespace gpivot
+
+#endif  // GPIVOT_RELATION_KEY_INDEX_H_

@@ -1,0 +1,122 @@
+#include "relation/schema.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gpivot {
+
+namespace {
+void CheckUniqueNames(const std::vector<Column>& columns) {
+  std::unordered_set<std::string> seen;
+  for (const Column& c : columns) {
+    GPIVOT_CHECK(seen.insert(c.name).second)
+        << "duplicate column name '" << c.name << "' in schema";
+  }
+}
+}  // namespace
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  CheckUniqueNames(columns_);
+}
+
+Schema::Schema(std::initializer_list<Column> columns) : columns_(columns) {
+  CheckUniqueNames(columns_);
+}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+size_t Schema::ColumnIndexOrDie(const std::string& name) const {
+  auto index = FindColumn(name);
+  GPIVOT_CHECK(index.has_value())
+      << "column '" << name << "' not in schema " << ToString();
+  return *index;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto index = FindColumn(name);
+  if (!index.has_value()) {
+    return Status::NotFound(
+        StrCat("column '", name, "' not in schema ", ToString()));
+  }
+  return *index;
+}
+
+std::vector<std::string> Schema::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+Result<std::vector<size_t>> Schema::ColumnIndices(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) {
+    GPIVOT_ASSIGN_OR_RETURN(size_t index, ColumnIndex(name));
+    indices.push_back(index);
+  }
+  return indices;
+}
+
+Result<Schema> Schema::Concat(const Schema& other) const {
+  std::vector<Column> columns = columns_;
+  for (const Column& c : other.columns_) {
+    if (HasColumn(c.name)) {
+      return Status::InvalidArgument(
+          StrCat("Concat: duplicate column '", c.name, "'"));
+    }
+    columns.push_back(c);
+  }
+  return Schema(std::move(columns));
+}
+
+Schema Schema::Select(const std::vector<size_t>& indices) const {
+  std::vector<Column> columns;
+  columns.reserve(indices.size());
+  for (size_t i : indices) {
+    GPIVOT_CHECK(i < columns_.size()) << "Select index out of range";
+    columns.push_back(columns_[i]);
+  }
+  return Schema(std::move(columns));
+}
+
+Result<Schema> Schema::Drop(const std::vector<std::string>& names) const {
+  std::unordered_set<std::string> to_drop;
+  for (const std::string& name : names) {
+    if (!HasColumn(name)) {
+      return Status::NotFound(StrCat("Drop: unknown column '", name, "'"));
+    }
+    to_drop.insert(name);
+  }
+  std::vector<Column> columns;
+  for (const Column& c : columns_) {
+    if (to_drop.count(c.name) == 0) columns.push_back(c);
+  }
+  return Schema(std::move(columns));
+}
+
+Schema Schema::Rename(size_t index, std::string new_name) const {
+  GPIVOT_CHECK(index < columns_.size()) << "Rename index out of range";
+  std::vector<Column> columns = columns_;
+  columns[index].name = std::move(new_name);
+  return Schema(std::move(columns));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(StrCat(c.name, " ", DataTypeToString(c.type)));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace gpivot

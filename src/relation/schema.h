@@ -1,0 +1,79 @@
+#ifndef GPIVOT_RELATION_SCHEMA_H_
+#define GPIVOT_RELATION_SCHEMA_H_
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace gpivot {
+
+// A named, typed column.
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+// An ordered list of columns. Column names must be unique within a schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+  Schema(std::initializer_list<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Index of the column named `name`, if present.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+  // Like FindColumn but aborts when absent (for internal plumbing where the
+  // column was already validated).
+  size_t ColumnIndexOrDie(const std::string& name) const;
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const {
+    return FindColumn(name).has_value();
+  }
+
+  std::vector<std::string> ColumnNames() const;
+
+  // Resolves a list of names to indices; fails on the first unknown name.
+  Result<std::vector<size_t>> ColumnIndices(
+      const std::vector<std::string>& names) const;
+
+  // Schema with `other`'s columns appended. Fails on duplicate names.
+  Result<Schema> Concat(const Schema& other) const;
+
+  // Schema restricted to `indices`, in the given order.
+  Schema Select(const std::vector<size_t>& indices) const;
+
+  // Schema with the named columns removed (negative project).
+  Result<Schema> Drop(const std::vector<std::string>& names) const;
+
+  // Schema with column `index` renamed.
+  Schema Rename(size_t index, std::string new_name) const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  // "(name TYPE, name TYPE, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace gpivot
+
+#endif  // GPIVOT_RELATION_SCHEMA_H_

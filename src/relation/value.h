@@ -1,0 +1,85 @@
+#ifndef GPIVOT_RELATION_VALUE_H_
+#define GPIVOT_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace gpivot {
+
+// Column data types. kNull is the type of the untyped NULL literal; columns
+// themselves are declared with one of the concrete types and may hold NULLs.
+enum class DataType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeToString(DataType type);
+
+// A single SQL value: NULL (the paper's '⊥'), a 64-bit integer, a double, or
+// a string. Values are ordered NULL-first only inside Sort; comparison
+// predicates over NULL evaluate to NULL/false (null-intolerant semantics),
+// which is handled at the expression layer, not here.
+class Value {
+ public:
+  struct NullValue {
+    bool operator==(const NullValue&) const { return true; }
+  };
+
+  // NULL / ⊥.
+  Value() : data_(NullValue{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  bool is_null() const { return std::holds_alternative<NullValue>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  DataType type() const;
+
+  // Accessors abort when the value holds a different alternative.
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // Numeric view: int64 and double both convert; aborts on string/NULL.
+  double AsNumeric() const;
+
+  // Total equality: NULL == NULL is true here (used for grouping/keys and
+  // bag-difference row matching, where SQL uses "IS NOT DISTINCT FROM").
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Total order for deterministic sorting: NULL < ints/doubles < strings;
+  // ints and doubles compare numerically.
+  bool operator<(const Value& other) const;
+
+  size_t Hash() const;
+
+  // "⊥" for NULL; otherwise the literal text.
+  std::string ToString() const;
+
+ private:
+  std::variant<NullValue, int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace gpivot
+
+#endif  // GPIVOT_RELATION_VALUE_H_

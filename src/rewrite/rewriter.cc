@@ -1,0 +1,162 @@
+#include "rewrite/rewriter.h"
+
+#include "rewrite/rules.h"
+#include "util/check.h"
+
+namespace gpivot::rewrite {
+
+const char* TopShapeToString(TopShape shape) {
+  switch (shape) {
+    case TopShape::kGPivotTop:
+      return "GPIVOT-top";
+    case TopShape::kSelectOverGPivotTop:
+      return "SELECT-over-GPIVOT-top";
+    case TopShape::kGPivotOverGroupByTop:
+      return "GPIVOT-over-GROUPBY-top";
+    case TopShape::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+Result<PlanPtr> RebuildWithChildren(const PlanPtr& node,
+                                    std::vector<PlanPtr> children) {
+  switch (node->kind()) {
+    case PlanKind::kScan:
+      return node;
+    case PlanKind::kSelect: {
+      GPIVOT_CHECK(children.size() == 1) << "SELECT arity";
+      const auto* n = static_cast<const SelectNode*>(node.get());
+      return MakeSelect(children[0], n->predicate());
+    }
+    case PlanKind::kProject: {
+      GPIVOT_CHECK(children.size() == 1) << "PROJECT arity";
+      const auto* n = static_cast<const ProjectNode*>(node.get());
+      return PlanPtr(std::make_shared<ProjectNode>(children[0], n->mode(),
+                                                   n->columns()));
+    }
+    case PlanKind::kMap: {
+      GPIVOT_CHECK(children.size() == 1) << "MAP arity";
+      const auto* n = static_cast<const MapNode*>(node.get());
+      return MakeMap(children[0], n->outputs());
+    }
+    case PlanKind::kJoin: {
+      GPIVOT_CHECK(children.size() == 2) << "JOIN arity";
+      const auto* n = static_cast<const JoinNode*>(node.get());
+      return MakeJoin(children[0], children[1], n->left_keys(),
+                      n->right_keys(), n->residual());
+    }
+    case PlanKind::kGroupBy: {
+      GPIVOT_CHECK(children.size() == 1) << "GROUPBY arity";
+      const auto* n = static_cast<const GroupByNode*>(node.get());
+      return MakeGroupBy(children[0], n->group_columns(), n->aggregates());
+    }
+    case PlanKind::kGPivot: {
+      GPIVOT_CHECK(children.size() == 1) << "GPIVOT arity";
+      const auto* n = static_cast<const GPivotNode*>(node.get());
+      return MakeGPivot(children[0], n->spec());
+    }
+    case PlanKind::kGUnpivot: {
+      GPIVOT_CHECK(children.size() == 1) << "GUNPIVOT arity";
+      const auto* n = static_cast<const GUnpivotNode*>(node.get());
+      return MakeGUnpivot(children[0], n->spec());
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+namespace {
+
+// Applies the first matching local rule at `node`. Returns the rewritten
+// node, or NotApplicable when no rule fires.
+Result<PlanPtr> TryLocalRules(const PlanPtr& node, RewriteOutcome* stats) {
+  struct RuleEntry {
+    Result<PlanPtr> (*rule)(const PlanPtr&);
+    int RewriteOutcome::* counter;
+  };
+  static constexpr int RewriteOutcome::* kCombined =
+      &RewriteOutcome::pivots_combined;
+  static constexpr int RewriteOutcome::* kPulled =
+      &RewriteOutcome::pivots_pulled;
+  static constexpr int RewriteOutcome::* kCancelled =
+      &RewriteOutcome::pivots_cancelled;
+  static const RuleEntry kRules[] = {
+      {&CombineMulticolumnPivots, kCombined},
+      {&ComposeAdjacentPivots, kCombined},
+      {&CancelUnpivotOfPivot, kCancelled},
+      {&CancelPivotOfUnpivot, kCancelled},
+      {&PullPivotThroughSelect, kPulled},
+      {&PullPivotThroughProject, kPulled},
+      {&PullPivotThroughJoin, kPulled},
+      {&PullSelectPivotPairThroughJoin, kPulled},
+      {&PullPivotThroughGroupBy, kPulled},
+      {&SwapUnpivotBelowPivot, kPulled},
+  };
+  for (const RuleEntry& entry : kRules) {
+    Result<PlanPtr> rewritten = entry.rule(node);
+    if (rewritten.ok()) {
+      stats->*(entry.counter) += 1;
+      return rewritten;
+    }
+    if (!rewritten.status().IsNotApplicable()) {
+      return rewritten.status();
+    }
+  }
+  return Status::NotApplicable("no local rule fires");
+}
+
+Result<PlanPtr> RewriteBottomUp(const PlanPtr& node, RewriteOutcome* stats) {
+  std::vector<PlanPtr> children = node->children();
+  bool changed = false;
+  for (PlanPtr& child : children) {
+    GPIVOT_ASSIGN_OR_RETURN(PlanPtr rewritten, RewriteBottomUp(child, stats));
+    if (rewritten != child) {
+      changed = true;
+      child = std::move(rewritten);
+    }
+  }
+  PlanPtr current = node;
+  if (changed) {
+    GPIVOT_ASSIGN_OR_RETURN(current, RebuildWithChildren(node, children));
+  }
+  // Local fixpoint: a successful rule may expose another (e.g. pulling a
+  // pivot through a join exposes an Eq. 6 composition).
+  while (true) {
+    Result<PlanPtr> rewritten = TryLocalRules(current, stats);
+    if (!rewritten.ok()) {
+      if (rewritten.status().IsNotApplicable()) break;
+      return rewritten.status();
+    }
+    current = std::move(rewritten).value();
+  }
+  return current;
+}
+
+}  // namespace
+
+TopShape ClassifyTopShape(const PlanPtr& plan) {
+  if (IsGPivot(plan)) {
+    const auto* pivot = static_cast<const GPivotNode*>(plan.get());
+    if (pivot->child()->kind() == PlanKind::kGroupBy) {
+      return TopShape::kGPivotOverGroupByTop;
+    }
+    return TopShape::kGPivotTop;
+  }
+  if (plan->kind() == PlanKind::kSelect) {
+    const auto* select = static_cast<const SelectNode*>(plan.get());
+    if (IsGPivot(select->child())) {
+      return TopShape::kSelectOverGPivotTop;
+    }
+  }
+  return TopShape::kOther;
+}
+
+Result<RewriteOutcome> PullUpPivots(const PlanPtr& plan) {
+  GPIVOT_CHECK(plan != nullptr) << "PullUpPivots on null plan";
+  RewriteOutcome outcome;
+  GPIVOT_ASSIGN_OR_RETURN(outcome.plan, RewriteBottomUp(plan, &outcome));
+  outcome.top_shape = ClassifyTopShape(outcome.plan);
+  return outcome;
+}
+
+}  // namespace gpivot::rewrite

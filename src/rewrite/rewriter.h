@@ -1,0 +1,51 @@
+#ifndef GPIVOT_REWRITE_REWRITER_H_
+#define GPIVOT_REWRITE_REWRITER_H_
+
+#include "algebra/plan.h"
+#include "util/result.h"
+
+namespace gpivot::rewrite {
+
+// Shape of the rewritten view query's top, which selects the apply-phase
+// propagation rules (§6):
+enum class TopShape {
+  // GPIVOT is the top operator: update propagation rules, Fig. 23.
+  kGPivotTop,
+  // σ directly above a GPIVOT (deliberately kept paired, §6.3.2):
+  // combined SELECT/GPIVOT update rules, Fig. 29.
+  kSelectOverGPivotTop,
+  // GPIVOT directly above a GROUPBY: combined GPIVOT/GROUPBY update rules,
+  // Fig. 27.
+  kGPivotOverGroupByTop,
+  // Anything else: generic insert/delete propagation (Fig. 22 for any
+  // remaining intermediate pivots).
+  kOther,
+};
+
+const char* TopShapeToString(TopShape shape);
+
+struct RewriteOutcome {
+  PlanPtr plan;
+  TopShape top_shape = TopShape::kOther;
+  int pivots_pulled = 0;     // applications of §5.1 pullup rules
+  int pivots_combined = 0;   // applications of Eq. 5 / Eq. 6
+  int pivots_cancelled = 0;  // applications of Eq. 9 / Eq. 12
+};
+
+// §3 step 1: pulls GPIVOT operators toward the top of the query tree,
+// combining adjacent pivots along the way, so that the maintenance planner
+// can use update propagation rules instead of insert/delete rules. A σ over
+// pivoted cells is left paired directly above its GPIVOT (§6.3.2) rather
+// than pushed down into multiple self-joins.
+Result<RewriteOutcome> PullUpPivots(const PlanPtr& plan);
+
+// Classifies what the maintenance planner should do with `plan`'s top.
+TopShape ClassifyTopShape(const PlanPtr& plan);
+
+// Rebuilds `node` with new children (same kind/parameters).
+Result<PlanPtr> RebuildWithChildren(const PlanPtr& node,
+                                    std::vector<PlanPtr> children);
+
+}  // namespace gpivot::rewrite
+
+#endif  // GPIVOT_REWRITE_REWRITER_H_

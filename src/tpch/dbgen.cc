@@ -1,0 +1,230 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace gpivot::tpch {
+
+namespace {
+
+constexpr const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+    "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+    "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+constexpr size_t kNumNations = sizeof(kNations) / sizeof(kNations[0]);
+
+Schema CustomerSchema() {
+  return Schema({{"custkey", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"nationkey", DataType::kInt64},
+                 {"nation", DataType::kString}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"orderkey", DataType::kInt64},
+                 {"custkey", DataType::kInt64},
+                 {"orderyear", DataType::kInt64}});
+}
+
+Schema LineitemSchema() {
+  return Schema({{"orderkey", DataType::kInt64},
+                 {"linenumber", DataType::kInt64},
+                 {"quantity", DataType::kInt64},
+                 {"extendedprice", DataType::kInt64}});
+}
+
+Row MakeLine(int64_t orderkey, int64_t linenumber, Rng* rng) {
+  // Prices are exact integers (whole currency units), so incremental
+  // aggregate maintenance is bit-identical to recomputation — the in-memory
+  // analogue of SQL DECIMAL arithmetic.
+  return {Value::Int(orderkey), Value::Int(linenumber),
+          Value::Int(rng->Int(1, 50)), Value::Int(rng->Int(1000, 105000))};
+}
+
+// Current number of lines per order, and each order's key.
+struct LineDirectory {
+  std::unordered_map<int64_t, int64_t> max_line;  // orderkey -> highest line#
+  std::vector<int64_t> orderkeys;                 // all orders
+};
+
+Result<LineDirectory> ScanLines(const Catalog& catalog) {
+  LineDirectory dir;
+  GPIVOT_ASSIGN_OR_RETURN(const Table* orders, catalog.GetTable("orders"));
+  GPIVOT_ASSIGN_OR_RETURN(const Table* lineitem,
+                          catalog.GetTable("lineitem"));
+  size_t ok = orders->schema().ColumnIndexOrDie("orderkey");
+  for (const Row& row : orders->rows()) {
+    dir.orderkeys.push_back(row[ok].AsInt());
+  }
+  size_t lk = lineitem->schema().ColumnIndexOrDie("orderkey");
+  size_t ln = lineitem->schema().ColumnIndexOrDie("linenumber");
+  for (const Row& row : lineitem->rows()) {
+    int64_t& current = dir.max_line[row[lk].AsInt()];
+    current = std::max(current, row[ln].AsInt());
+  }
+  return dir;
+}
+
+}  // namespace
+
+Data Generate(const Config& config) {
+  Rng rng(config.seed);
+  Data data;
+  data.customer = Table(CustomerSchema());
+  data.orders = Table(OrdersSchema());
+  data.lineitem = Table(LineitemSchema());
+
+  const int64_t num_customers =
+      std::max<int64_t>(10, static_cast<int64_t>(150000 * config.scale_factor));
+  const int64_t num_orders = num_customers * 10;
+
+  for (int64_t c = 1; c <= num_customers; ++c) {
+    int64_t nationkey = rng.Int(0, static_cast<int64_t>(kNumNations) - 1);
+    data.customer.AddRow({Value::Int(c),
+                          Value::Str(StrCat("Customer#", c)),
+                          Value::Int(nationkey),
+                          Value::Str(kNations[nationkey])});
+  }
+  GPIVOT_CHECK(data.customer.SetKey({"custkey"}).ok()) << "customer key";
+
+  for (int64_t o = 1; o <= num_orders; ++o) {
+    data.orders.AddRow(
+        {Value::Int(o), Value::Int(rng.Int(1, num_customers)),
+         Value::Int(config.first_year + rng.Int(0, config.num_years - 1))});
+    if (rng.Chance(config.lineless_order_fraction)) {
+      continue;  // this order's lines are "not loaded yet" (Fig. 35 pool)
+    }
+    int64_t num_lines = rng.Int(1, config.max_initial_lines);
+    for (int64_t l = 1; l <= num_lines; ++l) {
+      data.lineitem.AddRow(MakeLine(o, l, &rng));
+    }
+  }
+  GPIVOT_CHECK(data.orders.SetKey({"orderkey"}).ok()) << "orders key";
+  GPIVOT_CHECK(data.lineitem.SetKey({"orderkey", "linenumber"}).ok())
+      << "lineitem key";
+  return data;
+}
+
+Result<Catalog> MakeCatalog(Data data) {
+  Catalog catalog;
+  GPIVOT_RETURN_NOT_OK(catalog.AddTable("customer", std::move(data.customer)));
+  GPIVOT_RETURN_NOT_OK(catalog.AddTable("orders", std::move(data.orders)));
+  GPIVOT_RETURN_NOT_OK(catalog.AddTable("lineitem", std::move(data.lineitem)));
+  return catalog;
+}
+
+Result<ivm::SourceDeltas> MakeLineitemDeletes(const Catalog& catalog,
+                                              double fraction,
+                                              uint64_t seed) {
+  GPIVOT_ASSIGN_OR_RETURN(const Table* lineitem,
+                          catalog.GetTable("lineitem"));
+  Rng rng(seed);
+  size_t target = static_cast<size_t>(
+      static_cast<double>(lineitem->num_rows()) * fraction);
+  std::vector<size_t> positions(lineitem->num_rows());
+  for (size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  rng.Shuffle(&positions);
+  positions.resize(std::min(target, positions.size()));
+
+  ivm::Delta delta = ivm::Delta::Empty(lineitem->schema());
+  for (size_t position : positions) {
+    delta.deletes.AddRow(lineitem->rows()[position]);
+  }
+  ivm::SourceDeltas deltas;
+  deltas.emplace("lineitem", std::move(delta));
+  return deltas;
+}
+
+Result<ivm::SourceDeltas> MakeLineitemInsertsUpdatesOnly(
+    const Catalog& catalog, const Config& config, double fraction,
+    uint64_t seed) {
+  GPIVOT_ASSIGN_OR_RETURN(const Table* lineitem,
+                          catalog.GetTable("lineitem"));
+  GPIVOT_ASSIGN_OR_RETURN(LineDirectory dir, ScanLines(catalog));
+  Rng rng(seed);
+  size_t target = static_cast<size_t>(
+      static_cast<double>(lineitem->num_rows()) * fraction);
+
+  // Orders that already have lines but still have room below the pivot's
+  // line-number ceiling: new lines update their existing view row.
+  std::vector<int64_t> candidates;
+  for (const auto& [orderkey, max_line] : dir.max_line) {
+    if (max_line < config.max_line_numbers) candidates.push_back(orderkey);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  rng.Shuffle(&candidates);
+
+  ivm::Delta delta = ivm::Delta::Empty(lineitem->schema());
+  for (int64_t orderkey : candidates) {
+    if (delta.inserts.num_rows() >= target) break;
+    int64_t next = dir.max_line[orderkey] + 1;
+    int64_t upto = std::min<int64_t>(config.max_line_numbers,
+                                     next + rng.Int(0, 1));
+    for (int64_t l = next;
+         l <= upto && delta.inserts.num_rows() < target; ++l) {
+      delta.inserts.AddRow(MakeLine(orderkey, l, &rng));
+    }
+  }
+  ivm::SourceDeltas deltas;
+  deltas.emplace("lineitem", std::move(delta));
+  return deltas;
+}
+
+Result<ivm::SourceDeltas> MakeLineitemInsertsNewKeys(const Catalog& catalog,
+                                                     const Config& config,
+                                                     double fraction,
+                                                     uint64_t seed) {
+  GPIVOT_ASSIGN_OR_RETURN(const Table* lineitem,
+                          catalog.GetTable("lineitem"));
+  GPIVOT_ASSIGN_OR_RETURN(LineDirectory dir, ScanLines(catalog));
+  Rng rng(seed);
+  size_t target = static_cast<size_t>(
+      static_cast<double>(lineitem->num_rows()) * fraction);
+
+  // Orders with no lines at all: their first lines create new view rows.
+  std::vector<int64_t> lineless;
+  for (int64_t orderkey : dir.orderkeys) {
+    if (dir.max_line.count(orderkey) == 0) lineless.push_back(orderkey);
+  }
+  std::sort(lineless.begin(), lineless.end());
+  rng.Shuffle(&lineless);
+
+  ivm::Delta delta = ivm::Delta::Empty(lineitem->schema());
+  for (int64_t orderkey : lineless) {
+    if (delta.inserts.num_rows() >= target) break;
+    int64_t num_lines = rng.Int(1, config.max_initial_lines);
+    for (int64_t l = 1;
+         l <= num_lines && delta.inserts.num_rows() < target; ++l) {
+      delta.inserts.AddRow(MakeLine(orderkey, l, &rng));
+    }
+  }
+  ivm::SourceDeltas deltas;
+  deltas.emplace("lineitem", std::move(delta));
+  return deltas;
+}
+
+Result<ivm::SourceDeltas> MakeLineitemInsertsMixed(const Catalog& catalog,
+                                                   const Config& config,
+                                                   double fraction,
+                                                   uint64_t seed) {
+  GPIVOT_ASSIGN_OR_RETURN(
+      ivm::SourceDeltas updates,
+      MakeLineitemInsertsUpdatesOnly(catalog, config, fraction / 2, seed));
+  GPIVOT_ASSIGN_OR_RETURN(
+      ivm::SourceDeltas news,
+      MakeLineitemInsertsNewKeys(catalog, config, fraction / 2, seed + 1));
+  ivm::Delta& base = updates.at("lineitem");
+  for (const Row& row : news.at("lineitem").inserts.rows()) {
+    base.inserts.AddRow(row);
+  }
+  return updates;
+}
+
+}  // namespace gpivot::tpch

@@ -1,0 +1,67 @@
+#include "tpch/views.h"
+
+#include "core/pivot_spec.h"
+#include "expr/expr.h"
+#include "util/check.h"
+
+namespace gpivot::tpch {
+
+namespace {
+
+PivotSpec LineitemPivotSpec(int max_line_numbers) {
+  PivotSpec spec;
+  spec.pivot_by = {"linenumber"};
+  spec.pivot_on = {"quantity", "extendedprice"};
+  for (int l = 1; l <= max_line_numbers; ++l) {
+    spec.combos.push_back({Value::Int(l)});
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<PlanPtr> View1(const Catalog& catalog, int max_line_numbers) {
+  GPIVOT_ASSIGN_OR_RETURN(PlanPtr lineitem, MakeScan(catalog, "lineitem"));
+  GPIVOT_ASSIGN_OR_RETURN(PlanPtr orders, MakeScan(catalog, "orders"));
+  GPIVOT_ASSIGN_OR_RETURN(PlanPtr customer, MakeScan(catalog, "customer"));
+  PlanPtr pivoted = MakeGPivot(lineitem, LineitemPivotSpec(max_line_numbers));
+  PlanPtr with_orders = MakeJoin(std::move(pivoted), orders, {"orderkey"});
+  return MakeJoin(std::move(with_orders), customer, {"custkey"});
+}
+
+Result<PlanPtr> View2(const Catalog& catalog, int max_line_numbers,
+                      double price_threshold) {
+  GPIVOT_ASSIGN_OR_RETURN(PlanPtr lineitem, MakeScan(catalog, "lineitem"));
+  GPIVOT_ASSIGN_OR_RETURN(PlanPtr orders, MakeScan(catalog, "orders"));
+  GPIVOT_ASSIGN_OR_RETURN(PlanPtr customer, MakeScan(catalog, "customer"));
+  PivotSpec spec = LineitemPivotSpec(max_line_numbers);
+  std::string first_price_cell = spec.OutputColumnName(0, 1);
+  GPIVOT_CHECK(first_price_cell == "1**extendedprice")
+      << "unexpected cell name " << first_price_cell;
+  PlanPtr pivoted = MakeGPivot(lineitem, std::move(spec));
+  PlanPtr filtered = MakeSelect(
+      std::move(pivoted), Gt(Col(first_price_cell), Lit(price_threshold)));
+  PlanPtr with_orders = MakeJoin(std::move(filtered), orders, {"orderkey"});
+  return MakeJoin(std::move(with_orders), customer, {"custkey"});
+}
+
+Result<PlanPtr> View3(const Catalog& catalog, int first_year, int num_years) {
+  GPIVOT_ASSIGN_OR_RETURN(PlanPtr lineitem, MakeScan(catalog, "lineitem"));
+  GPIVOT_ASSIGN_OR_RETURN(PlanPtr orders, MakeScan(catalog, "orders"));
+  GPIVOT_ASSIGN_OR_RETURN(PlanPtr customer, MakeScan(catalog, "customer"));
+  PlanPtr joined = MakeJoin(
+      MakeJoin(std::move(lineitem), orders, {"orderkey"}), customer,
+      {"custkey"});
+  PlanPtr aggregated = MakeGroupBy(
+      std::move(joined), {"custkey", "nation", "orderyear"},
+      {AggSpec::Sum("extendedprice", "sum"), AggSpec::CountStar("cnt")});
+  PivotSpec spec;
+  spec.pivot_by = {"orderyear"};
+  spec.pivot_on = {"sum", "cnt"};
+  for (int y = first_year; y < first_year + num_years; ++y) {
+    spec.combos.push_back({Value::Int(y)});
+  }
+  return MakeGPivot(std::move(aggregated), std::move(spec));
+}
+
+}  // namespace gpivot::tpch

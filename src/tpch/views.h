@@ -1,0 +1,31 @@
+#ifndef GPIVOT_TPCH_VIEWS_H_
+#define GPIVOT_TPCH_VIEWS_H_
+
+#include "algebra/plan.h"
+#include "util/result.h"
+
+namespace gpivot::tpch {
+
+// The three materialized-view definitions of the paper's evaluation (§7),
+// expressed over the dbgen catalog ("lineitem", "orders", "customer").
+
+// View 1 (Fig. 32), non-aggregate:
+//   GPIVOT^{1..max_lines}_{linenumber on (quantity, extendedprice)}(lineitem)
+//     ⋈_orderkey orders ⋈_custkey customer
+// Output key: orderkey. One row per order that has at least one line.
+Result<PlanPtr> View1(const Catalog& catalog, int max_line_numbers);
+
+// View 2 (Fig. 36), non-aggregate with σ over a pivoted cell:
+//   σ_{1**extendedprice > price_threshold}(GPIVOT(lineitem)) ⋈ orders ⋈ customer
+Result<PlanPtr> View2(const Catalog& catalog, int max_line_numbers,
+                      double price_threshold);
+
+// View 3 (Fig. 39), aggregate crosstab:
+//   GPIVOT^{years}_{orderyear on (sum, cnt)}(
+//     F_{custkey, nation, orderyear; SUM(extendedprice) AS sum, COUNT(*) AS cnt}(
+//       lineitem ⋈ orders ⋈ customer))
+Result<PlanPtr> View3(const Catalog& catalog, int first_year, int num_years);
+
+}  // namespace gpivot::tpch
+
+#endif  // GPIVOT_TPCH_VIEWS_H_

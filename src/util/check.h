@@ -1,0 +1,46 @@
+#ifndef GPIVOT_UTIL_CHECK_H_
+#define GPIVOT_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace gpivot::internal_check {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used only via the GPIVOT_CHECK macro below for programmer errors;
+// recoverable errors use Status/Result instead.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace gpivot::internal_check
+
+// Aborts with a message when `condition` is false. Supports streaming extra
+// context: GPIVOT_CHECK(x != nullptr) << "while opening " << name;
+// Usable only as a statement (which is the only sensible place for it).
+#define GPIVOT_CHECK(condition)                                    \
+  for (bool _gpivot_check_done = (condition); !_gpivot_check_done; \
+       _gpivot_check_done = true)                                  \
+  ::gpivot::internal_check::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define GPIVOT_DCHECK(condition) GPIVOT_CHECK(condition)
+
+#endif  // GPIVOT_UTIL_CHECK_H_

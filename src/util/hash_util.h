@@ -1,0 +1,22 @@
+#ifndef GPIVOT_UTIL_HASH_UTIL_H_
+#define GPIVOT_UTIL_HASH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace gpivot {
+
+// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+template <typename T>
+size_t HashCombineValue(size_t seed, const T& value) {
+  return HashCombine(seed, std::hash<T>{}(value));
+}
+
+}  // namespace gpivot
+
+#endif  // GPIVOT_UTIL_HASH_UTIL_H_

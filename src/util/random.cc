@@ -1,0 +1,38 @@
+#include "util/random.h"
+
+#include "util/check.h"
+
+namespace gpivot {
+
+int64_t Rng::Int(int64_t lo, int64_t hi) {
+  GPIVOT_CHECK(lo <= hi) << "Rng::Int range [" << lo << ", " << hi << "]";
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Real(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+size_t Rng::Index(size_t size) {
+  GPIVOT_CHECK(size > 0) << "Rng::Index on empty range";
+  return static_cast<size_t>(Int(0, static_cast<int64_t>(size) - 1));
+}
+
+std::string Rng::String(size_t length) {
+  std::string result(length, 'a');
+  for (char& c : result) {
+    c = static_cast<char>('a' + Int(0, 25));
+  }
+  return result;
+}
+
+}  // namespace gpivot

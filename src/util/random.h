@@ -1,0 +1,45 @@
+#ifndef GPIVOT_UTIL_RANDOM_H_
+#define GPIVOT_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace gpivot {
+
+// Deterministic pseudo-random generator used by the data generators and
+// property tests. Same seed => same sequence on every platform (mt19937_64
+// is fully specified by the standard).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Int(int64_t lo, int64_t hi);
+  // Uniform double in [lo, hi).
+  double Real(double lo, double hi);
+  // True with probability p.
+  bool Chance(double p);
+  // Uniformly chosen element index for a container of `size` elements.
+  size_t Index(size_t size);
+  // Random lowercase string of length `length`.
+  std::string String(size_t length);
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = Index(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gpivot
+
+#endif  // GPIVOT_UTIL_RANDOM_H_

@@ -1,0 +1,76 @@
+#ifndef GPIVOT_UTIL_RESULT_H_
+#define GPIVOT_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace gpivot {
+
+// A value-or-error type in the style of arrow::Result. A Result either holds
+// a valid T (status is OK) or a non-OK Status describing why no value is
+// available. Accessing the value of an errored Result aborts via CHECK.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    GPIVOT_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GPIVOT_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    GPIVOT_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    GPIVOT_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or aborts with a readable message. Named per
+  // absl::StatusOr conventions.
+  T ValueOrDie() && { return std::move(*this).value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gpivot
+
+// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define GPIVOT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define GPIVOT_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define GPIVOT_ASSIGN_OR_RETURN_NAME(a, b) GPIVOT_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define GPIVOT_ASSIGN_OR_RETURN(lhs, expr) \
+  GPIVOT_ASSIGN_OR_RETURN_IMPL(            \
+      GPIVOT_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // GPIVOT_UTIL_RESULT_H_

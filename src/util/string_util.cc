@@ -1,0 +1,39 @@
+#include "util/string_util.h"
+
+namespace gpivot {
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += separator;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::vector<std::string> Split(std::string_view input,
+                               std::string_view separator) {
+  std::vector<std::string> parts;
+  if (separator.empty()) {
+    parts.emplace_back(input);
+    return parts;
+  }
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(separator, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      return parts;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + separator.size();
+  }
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace gpivot

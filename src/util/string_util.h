@@ -1,0 +1,33 @@
+#ifndef GPIVOT_UTIL_STRING_UTIL_H_
+#define GPIVOT_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpivot {
+
+// Joins `parts` with `separator`: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+// Splits `input` on the multi-character `separator`. Split("a**b", "**")
+// == {"a", "b"}. An empty input yields {""}.
+std::vector<std::string> Split(std::string_view input,
+                               std::string_view separator);
+
+// Concatenates the string representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (void)(out << ... << args);
+  return out.str();
+}
+
+// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace gpivot
+
+#endif  // GPIVOT_UTIL_STRING_UTIL_H_

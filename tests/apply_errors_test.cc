@@ -1,0 +1,149 @@
+// Error-path tests for the apply-phase rules: corrupted or inconsistent
+// deltas must be detected, not silently applied.
+#include <gtest/gtest.h>
+
+#include "ivm/apply.h"
+#include "test_util.h"
+
+namespace gpivot {
+namespace {
+
+using ivm::AggregateLayout;
+using ivm::Delta;
+using ivm::MaterializedView;
+using ivm::PivotLayout;
+using testing::I;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+// View schema: (k | x**sum x**cnt | y**sum y**cnt), aggregate layout with
+// the COUNT(*) as measure 1.
+struct AggFixture {
+  PivotLayout layout;
+  AggregateLayout aggs;
+  MaterializedView view;
+
+  static AggFixture Make() {
+    PivotSpec spec;
+    spec.pivot_by = {"a"};
+    spec.pivot_on = {"sum", "cnt"};
+    spec.combos = {{S("x")}, {S("y")}};
+    Schema schema({{"k", DataType::kInt64},
+                   {"x**sum", DataType::kInt64},
+                   {"x**cnt", DataType::kInt64},
+                   {"y**sum", DataType::kInt64},
+                   {"y**cnt", DataType::kInt64}});
+    Table initial = MakeTable(schema.columns(),
+                              {{I(1), I(100), I(2), N(), N()},
+                               {I(2), I(50), I(1), I(70), I(3)}});
+    EXPECT_TRUE(initial.SetKey({"k"}).ok());
+    AggregateLayout aggs;
+    aggs.measure_funcs = {AggFunc::kSum, AggFunc::kCountStar};
+    aggs.count_measure = 1;
+    return AggFixture{PivotLayout::FromSchema(schema, spec).value(),
+                      std::move(aggs),
+                      MaterializedView::Create(std::move(initial)).value()};
+  }
+
+  Delta EmptyDelta() const { return Delta::Empty(view.table().schema()); }
+};
+
+TEST(ApplyPivotGroupByTest, DeleteForAbsentGroupFails) {
+  AggFixture f = AggFixture::Make();
+  Delta delta = f.EmptyDelta();
+  delta.deletes.AddRow({I(99), I(10), I(1), N(), N()});  // unknown key
+  EXPECT_TRUE(ivm::ApplyPivotGroupByUpdate(&f.view, f.layout, f.aggs, delta)
+                  .IsConstraintViolation());
+}
+
+TEST(ApplyPivotGroupByTest, DeleteFromEmptySubgroupFails) {
+  AggFixture f = AggFixture::Make();
+  Delta delta = f.EmptyDelta();
+  // Key 1 has no 'y' subgroup, yet the delta claims to delete from it.
+  delta.deletes.AddRow({I(1), N(), N(), I(10), I(1)});
+  EXPECT_TRUE(ivm::ApplyPivotGroupByUpdate(&f.view, f.layout, f.aggs, delta)
+                  .IsConstraintViolation());
+}
+
+TEST(ApplyPivotGroupByTest, NegativeCountFails) {
+  AggFixture f = AggFixture::Make();
+  Delta delta = f.EmptyDelta();
+  // Key 1's 'x' subgroup has count 2; deleting 5 rows is inconsistent.
+  delta.deletes.AddRow({I(1), I(500), I(5), N(), N()});
+  EXPECT_TRUE(ivm::ApplyPivotGroupByUpdate(&f.view, f.layout, f.aggs, delta)
+                  .IsConstraintViolation());
+}
+
+TEST(ApplyPivotGroupByTest, CountReachingZeroEmptiesSubgroup) {
+  AggFixture f = AggFixture::Make();
+  Delta delta = f.EmptyDelta();
+  delta.deletes.AddRow({I(2), I(50), I(1), N(), N()});
+  ASSERT_OK(ivm::ApplyPivotGroupByUpdate(&f.view, f.layout, f.aggs, delta));
+  auto position = f.view.Lookup({I(2), N(), N(), N(), N()},
+                                f.view.key_indices());
+  ASSERT_TRUE(position.has_value());
+  const Row& row = f.view.RowAt(*position);
+  EXPECT_TRUE(row[1].is_null());  // x**sum gone with its count
+  EXPECT_TRUE(row[2].is_null());
+  EXPECT_EQ(row[3], I(70));       // y subgroup untouched
+}
+
+TEST(ApplyPivotGroupByTest, AllSubgroupsEmptyDeletesRow) {
+  AggFixture f = AggFixture::Make();
+  Delta delta = f.EmptyDelta();
+  delta.deletes.AddRow({I(1), I(100), I(2), N(), N()});
+  ASSERT_OK(ivm::ApplyPivotGroupByUpdate(&f.view, f.layout, f.aggs, delta));
+  EXPECT_EQ(f.view.num_rows(), 1u);
+  EXPECT_FALSE(f.view.Lookup({I(1), N(), N(), N(), N()},
+                             f.view.key_indices())
+                   .has_value());
+}
+
+TEST(ApplyPivotGroupByTest, MinMaxMeasuresRejected) {
+  AggFixture f = AggFixture::Make();
+  AggregateLayout bad = f.aggs;
+  bad.measure_funcs[0] = AggFunc::kMin;
+  EXPECT_TRUE(
+      ivm::ApplyPivotGroupByUpdate(&f.view, f.layout, bad, f.EmptyDelta())
+          .IsInvalidArgument());
+}
+
+TEST(ApplyPivotGroupByTest, InsertIntoExistingSubgroupAdds) {
+  AggFixture f = AggFixture::Make();
+  Delta delta = f.EmptyDelta();
+  delta.inserts.AddRow({I(1), I(40), I(1), I(7), I(1)});
+  ASSERT_OK(ivm::ApplyPivotGroupByUpdate(&f.view, f.layout, f.aggs, delta));
+  auto position = f.view.Lookup({I(1), N(), N(), N(), N()},
+                                f.view.key_indices());
+  const Row& row = f.view.RowAt(position.value());
+  EXPECT_EQ(row[1], I(140));  // 100 + 40
+  EXPECT_EQ(row[2], I(3));    // 2 + 1
+  EXPECT_EQ(row[3], I(7));    // previously-⊥ subgroup filled in
+  EXPECT_EQ(row[4], I(1));
+}
+
+TEST(ApplyPivotUpdateTest, DeleteForAbsentKeyIsIgnored) {
+  // Fig. 23's delete case skips keys not in the view (they may have been
+  // filtered out upstream); this must not error.
+  AggFixture f = AggFixture::Make();
+  Delta delta = f.EmptyDelta();
+  delta.deletes.AddRow({I(99), I(1), I(1), N(), N()});
+  ASSERT_OK(ivm::ApplyPivotUpdate(&f.view, f.layout, delta));
+  EXPECT_EQ(f.view.num_rows(), 2u);
+}
+
+TEST(ApplyPivotUpdateTest, InsertOverwritesPresentGroups) {
+  AggFixture f = AggFixture::Make();
+  Delta delta = f.EmptyDelta();
+  delta.inserts.AddRow({I(2), I(999), I(9), N(), N()});
+  ASSERT_OK(ivm::ApplyPivotUpdate(&f.view, f.layout, delta));
+  auto position = f.view.Lookup({I(2), N(), N(), N(), N()},
+                                f.view.key_indices());
+  const Row& row = f.view.RowAt(position.value());
+  EXPECT_EQ(row[1], I(999));  // overwritten, not summed (non-agg semantics)
+  EXPECT_EQ(row[3], I(70));   // absent delta group untouched
+}
+
+}  // namespace
+}  // namespace gpivot

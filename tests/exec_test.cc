@@ -1,0 +1,307 @@
+// Unit tests for the physical relational operators.
+#include <gtest/gtest.h>
+
+#include "exec/basic_ops.h"
+#include "exec/group_by.h"
+#include "exec/join.h"
+#include "test_util.h"
+
+namespace gpivot {
+namespace {
+
+using testing::BagEqual;
+using testing::D;
+using testing::I;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+Table People() {
+  return MakeTable({{"id", DataType::kInt64},
+                    {"dept", DataType::kString},
+                    {"salary", DataType::kInt64}},
+                   {{I(1), S("eng"), I(100)},
+                    {I(2), S("eng"), I(120)},
+                    {I(3), S("ops"), I(90)},
+                    {I(4), S("ops"), N()},
+                    {I(5), S("hr"), I(80)}});
+}
+
+TEST(SelectTest, FiltersWithThreeValuedLogic) {
+  ASSERT_OK_AND_ASSIGN(Table result,
+                       exec::Select(People(), Gt(Col("salary"),
+                                                 Lit(int64_t{95}))));
+  EXPECT_EQ(result.num_rows(), 2u);  // NULL salary filtered out
+}
+
+TEST(SelectTest, UnknownColumnErrors) {
+  EXPECT_FALSE(exec::Select(People(), Eq(Col("zz"), Lit(int64_t{1}))).ok());
+}
+
+TEST(ProjectTest, ReordersColumns) {
+  ASSERT_OK_AND_ASSIGN(Table result,
+                       exec::Project(People(), {"salary", "id"}));
+  EXPECT_EQ(result.schema().num_columns(), 2u);
+  EXPECT_EQ(result.rows()[0], (Row{I(100), I(1)}));
+}
+
+TEST(ProjectTest, DropColumns) {
+  ASSERT_OK_AND_ASSIGN(Table result, exec::DropColumns(People(), {"dept"}));
+  EXPECT_EQ(result.schema().ColumnNames(),
+            (std::vector<std::string>{"id", "salary"}));
+}
+
+TEST(ProjectExprsTest, ComputedColumns) {
+  ASSERT_OK_AND_ASSIGN(
+      Table result,
+      exec::ProjectExprs(People(),
+                         {{"id", Col("id")},
+                          {"double_salary", Mul(Col("salary"),
+                                                Lit(int64_t{2}))}}));
+  EXPECT_EQ(result.rows()[0], (Row{I(1), I(200)}));
+  EXPECT_TRUE(result.rows()[3][1].is_null());
+}
+
+TEST(RenameTest, RenamesColumns) {
+  ASSERT_OK_AND_ASSIGN(Table result,
+                       exec::RenameColumns(People(), {{"dept", "team"}}));
+  EXPECT_TRUE(result.schema().HasColumn("team"));
+  EXPECT_FALSE(result.schema().HasColumn("dept"));
+}
+
+TEST(SetOpsTest, UnionAllAndBagDifference) {
+  Table a = MakeTable({{"x", DataType::kInt64}}, {{I(1)}, {I(1)}, {I(2)}});
+  Table b = MakeTable({{"x", DataType::kInt64}}, {{I(1)}, {I(3)}});
+  ASSERT_OK_AND_ASSIGN(Table u, exec::UnionAll(a, b));
+  EXPECT_EQ(u.num_rows(), 5u);
+  // Bag difference cancels one copy per matching row.
+  ASSERT_OK_AND_ASSIGN(Table d, exec::BagDifference(a, b));
+  Table expected = MakeTable({{"x", DataType::kInt64}}, {{I(1)}, {I(2)}});
+  EXPECT_TRUE(BagEqual(expected, d));
+}
+
+TEST(SetOpsTest, SchemaMismatchErrors) {
+  Table a = MakeTable({{"x", DataType::kInt64}}, {});
+  Table b = MakeTable({{"y", DataType::kInt64}}, {});
+  EXPECT_FALSE(exec::UnionAll(a, b).ok());
+  EXPECT_FALSE(exec::BagDifference(a, b).ok());
+}
+
+TEST(DistinctTest, RemovesDuplicates) {
+  Table a = MakeTable({{"x", DataType::kInt64}}, {{I(1)}, {I(1)}, {N()}, {N()}});
+  ASSERT_OK_AND_ASSIGN(Table d, exec::Distinct(a));
+  EXPECT_EQ(d.num_rows(), 2u);  // ⊥ groups with ⊥
+}
+
+TEST(KeySetTest, SemiAndAntiJoin) {
+  std::unordered_set<Row, RowHash, RowEq> keys = {{S("eng")}};
+  ASSERT_OK_AND_ASSIGN(Table semi,
+                       exec::SemiJoinKeySet(People(), {"dept"}, keys));
+  EXPECT_EQ(semi.num_rows(), 2u);
+  ASSERT_OK_AND_ASSIGN(Table anti,
+                       exec::AntiJoinKeySet(People(), {"dept"}, keys));
+  EXPECT_EQ(anti.num_rows(), 3u);
+  ASSERT_OK_AND_ASSIGN(auto collected,
+                       exec::CollectKeySet(People(), {"dept"}));
+  EXPECT_EQ(collected.size(), 3u);
+}
+
+TEST(SortTest, StableSortNullsFirst) {
+  Table t = MakeTable({{"x", DataType::kInt64}, {"tag", DataType::kString}},
+                      {{I(2), S("a")}, {N(), S("b")}, {I(1), S("c")},
+                       {I(2), S("d")}});
+  ASSERT_OK_AND_ASSIGN(Table sorted, exec::SortBy(t, {"x"}));
+  EXPECT_TRUE(sorted.rows()[0][0].is_null());
+  EXPECT_EQ(sorted.rows()[1][0], I(1));
+  // Stability: the two x=2 rows keep input order.
+  EXPECT_EQ(sorted.rows()[2][1], S("a"));
+  EXPECT_EQ(sorted.rows()[3][1], S("d"));
+}
+
+// ---- Joins --------------------------------------------------------------------
+
+Table Depts() {
+  Table t = MakeTable(
+      {{"dept", DataType::kString}, {"floor", DataType::kInt64}},
+      {{S("eng"), I(3)}, {S("ops"), I(1)}, {S("sales"), I(2)}});
+  EXPECT_TRUE(t.SetKey({"dept"}).ok());
+  return t;
+}
+
+TEST(JoinTest, InnerEquiJoinDropsRightKeys) {
+  ASSERT_OK_AND_ASSIGN(Table result, exec::EquiJoin(People(), Depts(),
+                                                    {"dept"}));
+  EXPECT_EQ(result.schema().ColumnNames(),
+            (std::vector<std::string>{"id", "dept", "salary", "floor"}));
+  EXPECT_EQ(result.num_rows(), 4u);  // hr has no dept row
+}
+
+TEST(JoinTest, InnerJoinSymmetricWhenSidesSwap) {
+  // The build-side swap optimization must not change the result bag.
+  exec::JoinSpec spec;
+  spec.left_keys = {"dept"};
+  spec.right_keys = {"dept"};
+  ASSERT_OK_AND_ASSIGN(Table small_left,
+                       exec::HashJoin(Depts(), People(), spec));
+  ASSERT_OK_AND_ASSIGN(Table small_right,
+                       exec::HashJoin(People(), Depts(), spec));
+  EXPECT_EQ(small_left.num_rows(), small_right.num_rows());
+}
+
+TEST(JoinTest, LeftOuterPadsWithNull) {
+  exec::JoinSpec spec;
+  spec.left_keys = {"dept"};
+  spec.right_keys = {"dept"};
+  spec.type = exec::JoinType::kLeftOuter;
+  ASSERT_OK_AND_ASSIGN(Table result, exec::HashJoin(People(), Depts(), spec));
+  EXPECT_EQ(result.num_rows(), 5u);
+  bool found_hr = false;
+  for (const Row& row : result.rows()) {
+    if (row[1] == S("hr")) {
+      found_hr = true;
+      EXPECT_TRUE(row[3].is_null());
+    }
+  }
+  EXPECT_TRUE(found_hr);
+}
+
+TEST(JoinTest, FullOuterCoalescesKeys) {
+  exec::JoinSpec spec;
+  spec.left_keys = {"dept"};
+  spec.right_keys = {"dept"};
+  spec.type = exec::JoinType::kFullOuter;
+  ASSERT_OK_AND_ASSIGN(Table result, exec::HashJoin(People(), Depts(), spec));
+  // 5 left rows + 1 right-only row (sales).
+  EXPECT_EQ(result.num_rows(), 6u);
+  bool found_sales = false;
+  for (const Row& row : result.rows()) {
+    if (row[1] == S("sales")) {
+      found_sales = true;
+      EXPECT_TRUE(row[0].is_null());   // left id ⊥
+      EXPECT_EQ(row[3], I(2));          // right payload present
+    }
+  }
+  EXPECT_TRUE(found_sales);
+}
+
+TEST(JoinTest, SemiAndAnti) {
+  exec::JoinSpec spec;
+  spec.left_keys = {"dept"};
+  spec.right_keys = {"dept"};
+  spec.type = exec::JoinType::kLeftSemi;
+  ASSERT_OK_AND_ASSIGN(Table semi, exec::HashJoin(People(), Depts(), spec));
+  EXPECT_EQ(semi.num_rows(), 4u);
+  EXPECT_EQ(semi.schema(), People().schema());
+  spec.type = exec::JoinType::kLeftAnti;
+  ASSERT_OK_AND_ASSIGN(Table anti, exec::HashJoin(People(), Depts(), spec));
+  EXPECT_EQ(anti.num_rows(), 1u);
+}
+
+TEST(JoinTest, NullKeysNeverMatch) {
+  Table left = MakeTable({{"k", DataType::kInt64}}, {{N()}, {I(1)}});
+  Table right = MakeTable({{"k", DataType::kInt64}, {"v", DataType::kInt64}},
+                          {{N(), I(10)}, {I(1), I(20)}});
+  exec::JoinSpec spec;
+  spec.left_keys = {"k"};
+  spec.right_keys = {"k"};
+  ASSERT_OK_AND_ASSIGN(Table result, exec::HashJoin(left, right, spec));
+  EXPECT_EQ(result.num_rows(), 1u);  // only the 1=1 match
+}
+
+TEST(JoinTest, ResidualPredicate) {
+  exec::JoinSpec spec;
+  spec.left_keys = {"dept"};
+  spec.right_keys = {"dept"};
+  spec.residual = Gt(Col("salary"), Col("floor"));
+  ASSERT_OK_AND_ASSIGN(Table result, exec::HashJoin(People(), Depts(), spec));
+  EXPECT_EQ(result.num_rows(), 3u);  // NULL salary row fails residual
+}
+
+TEST(JoinTest, PayloadCollisionErrors) {
+  Table left = MakeTable({{"k", DataType::kInt64}, {"v", DataType::kInt64}},
+                         {});
+  Table right = MakeTable({{"k", DataType::kInt64}, {"v", DataType::kInt64}},
+                          {});
+  exec::JoinSpec spec;
+  spec.left_keys = {"k"};
+  spec.right_keys = {"k"};
+  EXPECT_FALSE(exec::HashJoin(left, right, spec).ok());
+}
+
+TEST(JoinTest, CrossJoinViaEmptyKeys) {
+  Table left = MakeTable({{"x", DataType::kInt64}}, {{I(1)}, {I(2)}});
+  Table right = MakeTable({{"y", DataType::kInt64}}, {{I(10)}, {I(20)}});
+  exec::JoinSpec spec;  // no keys: cross product
+  ASSERT_OK_AND_ASSIGN(Table result, exec::HashJoin(left, right, spec));
+  EXPECT_EQ(result.num_rows(), 4u);
+}
+
+TEST(NestedLoopJoinTest, ThetaJoin) {
+  Table left = MakeTable({{"x", DataType::kInt64}}, {{I(1)}, {I(5)}});
+  Table right = MakeTable({{"y", DataType::kInt64}}, {{I(3)}, {I(7)}});
+  ASSERT_OK_AND_ASSIGN(
+      Table result,
+      exec::NestedLoopJoin(left, right, Lt(Col("x"), Col("y")),
+                           exec::JoinType::kInner));
+  EXPECT_EQ(result.num_rows(), 3u);
+  ASSERT_OK_AND_ASSIGN(
+      Table outer,
+      exec::NestedLoopJoin(left, right, Gt(Col("x"), Col("y")),
+                           exec::JoinType::kLeftOuter));
+  EXPECT_EQ(outer.num_rows(), 2u);  // x=1 padded, x=5 matches y=3
+}
+
+// ---- GroupBy -------------------------------------------------------------------
+
+TEST(GroupByTest, BasicAggregates) {
+  ASSERT_OK_AND_ASSIGN(
+      Table result,
+      exec::GroupBy(People(), {"dept"},
+                    {AggSpec::Sum("salary", "total"),
+                     AggSpec::Count("salary", "cnt"),
+                     AggSpec::CountStar("rows"),
+                     AggSpec::Min("salary", "lo"),
+                     AggSpec::Max("salary", "hi")}));
+  EXPECT_EQ(result.num_rows(), 3u);
+  for (const Row& row : result.rows()) {
+    if (row[0] == S("ops")) {
+      EXPECT_EQ(row[1], I(90));  // NULL disregarded
+      EXPECT_EQ(row[2], I(1));   // COUNT(salary) skips ⊥
+      EXPECT_EQ(row[3], I(2));   // COUNT(*) does not
+      EXPECT_EQ(row[4], I(90));
+      EXPECT_EQ(row[5], I(90));
+    }
+  }
+  EXPECT_EQ(result.key(), (std::vector<std::string>{"dept"}));
+}
+
+TEST(GroupByTest, NullGroupValuesGroupTogether) {
+  Table t = MakeTable({{"g", DataType::kString}, {"v", DataType::kInt64}},
+                      {{N(), I(1)}, {N(), I(2)}, {S("a"), I(3)}});
+  ASSERT_OK_AND_ASSIGN(Table result,
+                       exec::GroupBy(t, {"g"}, {AggSpec::Sum("v", "s")}));
+  EXPECT_EQ(result.num_rows(), 2u);
+}
+
+TEST(GroupByTest, EmptyInputYieldsNoGroups) {
+  Table t{Schema({{"g", DataType::kString}, {"v", DataType::kInt64}})};
+  ASSERT_OK_AND_ASSIGN(Table result,
+                       exec::GroupBy(t, {"g"}, {AggSpec::Sum("v", "s")}));
+  EXPECT_EQ(result.num_rows(), 0u);
+}
+
+TEST(GroupByTest, GlobalAggregation) {
+  ASSERT_OK_AND_ASSIGN(Table result,
+                       exec::GroupBy(People(), {},
+                                     {AggSpec::CountStar("n")}));
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][0], I(5));
+}
+
+TEST(GroupByTest, UnknownAggregateInputErrors) {
+  EXPECT_FALSE(
+      exec::GroupBy(People(), {"dept"}, {AggSpec::Sum("zz", "s")}).ok());
+}
+
+}  // namespace
+}  // namespace gpivot

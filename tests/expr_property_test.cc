@@ -1,0 +1,187 @@
+#include "util/string_util.h"
+// Differential testing of expression compilation: random expression trees
+// are evaluated both by the compiled evaluator (CompileExpr) and by an
+// independent recursive reference interpreter; the two must agree on random
+// rows, including NULL-heavy ones (three-valued logic).
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace gpivot {
+namespace {
+
+using testing::I;
+
+const Schema& TestSchema() {
+  static const Schema* const kSchema = new Schema(
+      {{"c0", DataType::kInt64}, {"c1", DataType::kInt64},
+       {"c2", DataType::kInt64}, {"c3", DataType::kInt64}});
+  return *kSchema;
+}
+
+// Random expression tree over int columns/literals. Depth-bounded.
+ExprPtr RandomExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Chance(0.3)) {
+    if (rng->Chance(0.5)) {
+      return Col(StrCat("c", rng->Int(0, 3)));
+    }
+    return Lit(Value::Int(rng->Int(-5, 5)));
+  }
+  switch (rng->Int(0, 6)) {
+    case 0: {
+      static const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                       CompareOp::kLt, CompareOp::kLe,
+                                       CompareOp::kGt, CompareOp::kGe};
+      return Cmp(kOps[rng->Int(0, 5)], RandomExpr(rng, depth - 1),
+                 RandomExpr(rng, depth - 1));
+    }
+    case 1:
+      return And(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 2:
+      return Or(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 3:
+      return Not(RandomExpr(rng, depth - 1));
+    case 4:
+      return rng->Chance(0.5) ? IsNull(RandomExpr(rng, depth - 1))
+                              : IsNotNull(RandomExpr(rng, depth - 1));
+    case 5: {
+      switch (rng->Int(0, 3)) {
+        case 0:
+          return Add(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+        case 1:
+          return Sub(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+        case 2:
+          return Mul(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+        default:
+          return Div(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+      }
+    }
+    default:
+      return Case(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1),
+                  RandomExpr(rng, depth - 1));
+  }
+}
+
+// Independent reference interpreter (deliberately written differently from
+// CompileExpr: direct recursion, no closures).
+Value Interpret(const ExprPtr& e, const Row& row) {
+  switch (e->kind()) {
+    case ExprKind::kColumnRef: {
+      const auto* ref = static_cast<const ColumnRefExpr*>(e.get());
+      return row[TestSchema().ColumnIndexOrDie(ref->name())];
+    }
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr*>(e.get())->value();
+    case ExprKind::kComparison: {
+      const auto* c = static_cast<const ComparisonExpr*>(e.get());
+      Value l = Interpret(c->left(), row);
+      Value r = Interpret(c->right(), row);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      bool lt = l < r, eq = l == r;
+      bool result = false;
+      switch (c->op()) {
+        case CompareOp::kEq: result = eq; break;
+        case CompareOp::kNe: result = !eq; break;
+        case CompareOp::kLt: result = lt; break;
+        case CompareOp::kLe: result = lt || eq; break;
+        case CompareOp::kGt: result = !lt && !eq; break;
+        case CompareOp::kGe: result = !lt; break;
+      }
+      return Value::Int(result ? 1 : 0);
+    }
+    case ExprKind::kBoolOp: {
+      const auto* b = static_cast<const BoolOpExpr*>(e.get());
+      // Kleene three-valued AND/OR evaluated via min/max over {F=0, U, T=1}.
+      bool is_and = b->op() == BoolOpKind::kAnd;
+      bool saw_null = false;
+      for (const ExprPtr& op : b->operands()) {
+        Value v = Interpret(op, row);
+        if (v.is_null()) {
+          saw_null = true;
+        } else if (ValueIsTrue(v) != is_and) {
+          // OR hit TRUE, or AND hit FALSE: decided.
+          return Value::Int(is_and ? 0 : 1);
+        }
+      }
+      if (saw_null) return Value::Null();
+      return Value::Int(is_and ? 1 : 0);
+    }
+    case ExprKind::kNot: {
+      Value v = Interpret(static_cast<const NotExpr*>(e.get())->operand(),
+                          row);
+      if (v.is_null()) return Value::Null();
+      return Value::Int(ValueIsTrue(v) ? 0 : 1);
+    }
+    case ExprKind::kIsNull: {
+      const auto* n = static_cast<const IsNullExpr*>(e.get());
+      bool is_null = Interpret(n->operand(), row).is_null();
+      return Value::Int((is_null != n->negated()) ? 1 : 0);
+    }
+    case ExprKind::kArith: {
+      const auto* a = static_cast<const ArithExpr*>(e.get());
+      Value l = Interpret(a->left(), row);
+      Value r = Interpret(a->right(), row);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (l.is_int() && r.is_int() && a->op() != ArithOp::kDiv) {
+        int64_t x = l.AsInt(), y = r.AsInt();
+        switch (a->op()) {
+          case ArithOp::kAdd: return Value::Int(x + y);
+          case ArithOp::kSub: return Value::Int(x - y);
+          case ArithOp::kMul: return Value::Int(x * y);
+          default: break;
+        }
+      }
+      double x = l.AsNumeric(), y = r.AsNumeric();
+      switch (a->op()) {
+        case ArithOp::kAdd: return Value::Real(x + y);
+        case ArithOp::kSub: return Value::Real(x - y);
+        case ArithOp::kMul: return Value::Real(x * y);
+        case ArithOp::kDiv:
+          if (y == 0) return Value::Null();
+          return Value::Real(x / y);
+      }
+      return Value::Null();
+    }
+    case ExprKind::kCase: {
+      const auto* c = static_cast<const CaseExpr*>(e.get());
+      return ValueIsTrue(Interpret(c->condition(), row))
+                 ? Interpret(c->then_value(), row)
+                 : Interpret(c->else_value(), row);
+    }
+  }
+  return Value::Null();
+}
+
+class ExprDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprDifferentialTest, CompiledMatchesInterpreter) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  for (int trial = 0; trial < 40; ++trial) {
+    ExprPtr expr = RandomExpr(&rng, 4);
+    auto compiled = CompileExpr(expr, TestSchema());
+    ASSERT_TRUE(compiled.ok()) << expr->ToString();
+    for (int sample = 0; sample < 10; ++sample) {
+      Row row;
+      for (int c = 0; c < 4; ++c) {
+        row.push_back(rng.Chance(0.3) ? Value::Null()
+                                      : Value::Int(rng.Int(-5, 5)));
+      }
+      Value fast = (*compiled)(row);
+      Value slow = Interpret(expr, row);
+      ASSERT_EQ(fast.is_null(), slow.is_null())
+          << expr->ToString() << " on " << RowToString(row);
+      if (!fast.is_null()) {
+        ASSERT_EQ(fast, slow)
+            << expr->ToString() << " on " << RowToString(row);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprDifferentialTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace gpivot

@@ -1,0 +1,199 @@
+// End-to-end test of the paper's running example: the Fig. 2 ROLAP view
+// (double pivot + join + aggregate) is rewritten into Fig. 11's pulled-up
+// form, combined via Eq. 6 into the Fig. 28 single GPIVOT-over-GROUPBY, and
+// maintained with the Fig. 27 combined rules.
+#include <gtest/gtest.h>
+
+#include "algebra/plan.h"
+#include "ivm/view_manager.h"
+#include "rewrite/rewriter.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace gpivot {
+namespace {
+
+using ivm::Delta;
+using ivm::RefreshStrategy;
+using ivm::SourceDeltas;
+using ivm::ViewManager;
+using testing::BagEqual;
+using testing::I;
+using testing::S;
+
+// Random Payment/Product database: Payment(AuctionID, Payment, Price) keyed
+// (AuctionID, Payment); Product(AuctionID, Manu, Type) keyed AuctionID.
+struct CrosstabDb {
+  Catalog catalog;
+  int64_t num_auctions;
+};
+
+CrosstabDb MakeDb(Rng* rng, int64_t num_auctions) {
+  Table payment{Schema({{"AuctionID", DataType::kInt64},
+                        {"Payment", DataType::kString},
+                        {"Price", DataType::kInt64}})};
+  for (int64_t id = 1; id <= num_auctions; ++id) {
+    if (rng->Chance(0.8)) {
+      payment.AddRow({I(id), S("Credit"), I(rng->Int(10, 500))});
+    }
+    if (rng->Chance(0.5)) {
+      payment.AddRow({I(id), S("ByAir"), I(rng->Int(10, 100))});
+    }
+    if (rng->Chance(0.2)) {
+      payment.AddRow({I(id), S("Check"), I(rng->Int(10, 500))});  // unlisted
+    }
+  }
+  GPIVOT_CHECK(payment.SetKey({"AuctionID", "Payment"}).ok());
+
+  Table product{Schema({{"AuctionID", DataType::kInt64},
+                        {"Manu", DataType::kString},
+                        {"Type", DataType::kString}})};
+  const char* manus[] = {"Sony", "Panasonic", "JVC"};
+  const char* types[] = {"TV", "VCR"};
+  for (int64_t id = 1; id <= num_auctions; ++id) {
+    product.AddRow({I(id), S(manus[rng->Index(3)]), S(types[rng->Index(2)])});
+  }
+  GPIVOT_CHECK(product.SetKey({"AuctionID"}).ok());
+
+  CrosstabDb db;
+  db.num_auctions = num_auctions;
+  GPIVOT_CHECK(db.catalog.AddTable("Payment", std::move(payment)).ok());
+  GPIVOT_CHECK(db.catalog.AddTable("Product", std::move(product)).ok());
+  return db;
+}
+
+// The Fig. 2 view over the db, written exactly as the paper draws it
+// (lower pivot → join → groupby → upper pivot).
+PlanPtr Fig2View(const Catalog& catalog) {
+  PivotSpec lower;
+  lower.pivot_by = {"Payment"};
+  lower.pivot_on = {"Price"};
+  lower.combos = {{S("Credit")}, {S("ByAir")}};
+  PlanPtr pivoted = MakeGPivot(MakeScan(catalog, "Payment").value(), lower);
+  PlanPtr joined = MakeJoin(std::move(pivoted),
+                            MakeScan(catalog, "Product").value(),
+                            {"AuctionID"});
+  std::vector<AggSpec> aggs;
+  for (const std::string& cell : lower.OutputColumnNames()) {
+    aggs.push_back(AggSpec::Sum(cell, cell));
+  }
+  PlanPtr aggregated =
+      MakeGroupBy(std::move(joined), {"Manu", "Type"}, aggs);
+  PivotSpec upper;
+  upper.pivot_by = {"Type"};
+  upper.pivot_on = lower.OutputColumnNames();
+  upper.combos = {{S("TV")}, {S("VCR")}};
+  return MakeGPivot(std::move(aggregated), upper);
+}
+
+TEST(Fig2Test, RewriterProducesFig28Shape) {
+  Rng rng(2005);
+  CrosstabDb db = MakeDb(&rng, 60);
+  PlanPtr view = Fig2View(db.catalog);
+
+  ASSERT_OK_AND_ASSIGN(rewrite::RewriteOutcome outcome,
+                       rewrite::PullUpPivots(view));
+  // Both pivots end up merged into one GPIVOT over one GROUPBY.
+  EXPECT_EQ(outcome.top_shape, rewrite::TopShape::kGPivotOverGroupByTop);
+  EXPECT_GE(outcome.pivots_pulled, 2);   // through JOIN and GROUPBY
+  EXPECT_GE(outcome.pivots_combined, 1); // Eq. 6 composition
+  const auto* pivot = static_cast<const GPivotNode*>(outcome.plan.get());
+  EXPECT_EQ(pivot->spec().pivot_by,
+            (std::vector<std::string>{"Type", "Payment"}));
+  EXPECT_EQ(pivot->spec().num_combos(), 4u);  // {TV,VCR} x {Credit,ByAir}
+
+  // The rewritten query computes the same crosstab.
+  ASSERT_OK_AND_ASSIGN(Table original, Evaluate(view, db.catalog));
+  ASSERT_OK_AND_ASSIGN(Table rewritten, Evaluate(outcome.plan, db.catalog));
+  EXPECT_TRUE(testing::BagEqualModuloColumnOrder(original, rewritten));
+}
+
+class Fig2MaintenanceTest
+    : public ::testing::TestWithParam<RefreshStrategy> {};
+
+TEST_P(Fig2MaintenanceTest, RandomBatchesStayConsistent) {
+  Rng rng(777);
+  CrosstabDb db = MakeDb(&rng, 80);
+  PlanPtr view = Fig2View(db.catalog);
+  ViewManager manager(std::move(db.catalog));
+  ASSERT_OK(manager.DefineView("xt", view, GetParam()));
+
+  for (int round = 0; round < 4; ++round) {
+    // Random batch: delete some existing payment rows, insert some new
+    // payment types for existing auctions.
+    const Table* payment = manager.catalog().GetTable("Payment").value();
+    Delta delta = Delta::Empty(payment->schema());
+    std::unordered_set<Row, RowHash, RowEq> touched;
+    for (const Row& row : payment->rows()) {
+      if (rng.Chance(0.07)) {
+        delta.deletes.AddRow(row);
+        touched.insert({row[0], row[1]});
+      }
+    }
+    for (int64_t id = 1; id <= 80; ++id) {
+      if (!rng.Chance(0.05)) continue;
+      Row candidate = {I(id), S("ByAir"), I(rng.Int(10, 99))};
+      Row key = {candidate[0], candidate[1]};
+      if (touched.count(key) > 0) continue;
+      // Only insert if the (AuctionID, Payment) key is free.
+      bool exists = false;
+      for (const Row& row : payment->rows()) {
+        if (row[0] == key[0] && row[1] == key[1]) exists = true;
+      }
+      if (!exists) {
+        delta.inserts.AddRow(std::move(candidate));
+        touched.insert(std::move(key));
+      }
+    }
+    SourceDeltas deltas;
+    deltas.emplace("Payment", std::move(delta));
+    ASSERT_OK(manager.ApplyUpdate(deltas));
+
+    ASSERT_OK_AND_ASSIGN(const ivm::MaterializedView* mv,
+                         manager.GetView("xt"));
+    ASSERT_OK_AND_ASSIGN(Table recomputed,
+                         manager.RecomputeFromScratch("xt"));
+    ASSERT_TRUE(BagEqual(recomputed, mv->table())) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, Fig2MaintenanceTest,
+    ::testing::Values(RefreshStrategy::kFullRecompute,
+                      RefreshStrategy::kInsertDelete,
+                      RefreshStrategy::kUpdate,
+                      RefreshStrategy::kCombinedGroupBy),
+    [](const ::testing::TestParamInfo<RefreshStrategy>& info) {
+      return ivm::RefreshStrategyToString(info.param);
+    });
+
+// Product-side changes flow through the pulled-up plan too: the pivot's key
+// side changes rather than its measures.
+TEST(Fig2Test, ProductSideDeltas) {
+  Rng rng(778);
+  CrosstabDb db = MakeDb(&rng, 50);
+  PlanPtr view = Fig2View(db.catalog);
+  ViewManager manager(std::move(db.catalog));
+  ASSERT_OK(
+      manager.DefineView("xt", view, RefreshStrategy::kCombinedGroupBy));
+
+  // Delete one product (its auction's payments leave every subgroup) and
+  // insert a replacement with a different manufacturer.
+  const Table* product = manager.catalog().GetTable("Product").value();
+  Delta delta = Delta::Empty(product->schema());
+  delta.deletes.AddRow(product->rows()[0]);
+  Row replacement = product->rows()[0];
+  replacement[1] = S("Toshiba");
+  delta.inserts.AddRow(std::move(replacement));
+  SourceDeltas deltas;
+  deltas.emplace("Product", std::move(delta));
+  ASSERT_OK(manager.ApplyUpdate(deltas));
+
+  ASSERT_OK_AND_ASSIGN(const ivm::MaterializedView* mv,
+                       manager.GetView("xt"));
+  ASSERT_OK_AND_ASSIGN(Table recomputed, manager.RecomputeFromScratch("xt"));
+  EXPECT_TRUE(BagEqual(recomputed, mv->table()));
+}
+
+}  // namespace
+}  // namespace gpivot

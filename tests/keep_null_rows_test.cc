@@ -1,0 +1,199 @@
+// Tests for the §8 semantic variant: PIVOT as defined in [8] / SQL Server,
+// which keeps output rows whose cells are all ⊥. Execution, reference
+// equivalence, and maintenance behaviour (insert/delete rules work; update
+// rules are refused, matching §8's discussion that they would need an
+// auxiliary per-key COUNT view).
+#include <gtest/gtest.h>
+
+#include "core/gpivot.h"
+#include "core/pivot_spec.h"
+#include "ivm/view_manager.h"
+#include "rewrite/rules.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace gpivot {
+namespace {
+
+using ivm::Delta;
+using ivm::RefreshStrategy;
+using ivm::SourceDeltas;
+using ivm::ViewManager;
+using testing::BagEqual;
+using testing::I;
+using testing::MakeTable;
+using testing::N;
+using testing::RandomVerticalSpec;
+using testing::RandomVerticalTable;
+using testing::S;
+
+PivotSpec KeepSpec() {
+  PivotSpec spec;
+  spec.pivot_by = {"a"};
+  spec.pivot_on = {"b"};
+  spec.combos = {{S("x")}, {S("y")}};
+  spec.keep_all_null_rows = true;
+  return spec;
+}
+
+TEST(KeepNullRowsTest, UnlistedKeysSurviveWithAllNullCells) {
+  Table t = MakeTable({{"k", DataType::kInt64},
+                       {"a", DataType::kString},
+                       {"b", DataType::kInt64}},
+                      {{I(1), S("x"), I(10)},
+                       {I(2), S("z"), I(20)},    // only an unlisted combo
+                       {I(3), S("y"), I(30)}});
+  EXPECT_TRUE(t.SetKey({"k", "a"}).ok());
+  ASSERT_OK_AND_ASSIGN(Table kept, GPivot(t, KeepSpec()));
+  // Key 2 appears with all-⊥ cells under the §8 semantics...
+  Table expected = MakeTable(kept.schema().columns(),
+                             {{I(1), I(10), N()},
+                              {I(2), N(), N()},
+                              {I(3), N(), I(30)}});
+  EXPECT_TRUE(BagEqual(expected, kept));
+  // ...and vanishes under the default Eq. 3 semantics.
+  PivotSpec standard = KeepSpec();
+  standard.keep_all_null_rows = false;
+  ASSERT_OK_AND_ASSIGN(Table dropped, GPivot(t, standard));
+  EXPECT_EQ(dropped.num_rows(), 2u);
+}
+
+TEST(KeepNullRowsTest, MatchesOuterJoinReference) {
+  Rng rng(88);
+  for (int trial = 0; trial < 5; ++trial) {
+    RandomVerticalSpec vspec;
+    vspec.num_dims = 1;
+    vspec.num_measures = 2;
+    vspec.dim_alphabet = 4;  // half the alphabet is unlisted
+    vspec.null_fraction = 0.2;
+    Table input = RandomVerticalTable(vspec, &rng);
+    PivotSpec spec;
+    spec.pivot_by = {"a1"};
+    spec.pivot_on = {"b1", "b2"};
+    spec.combos = {{S("v0")}, {S("v1")}};
+    spec.keep_all_null_rows = true;
+    ASSERT_OK_AND_ASSIGN(Table fast, GPivot(input, spec));
+    ASSERT_OK_AND_ASSIGN(Table reference, GPivotReference(input, spec));
+    EXPECT_TRUE(BagEqual(reference, fast)) << "trial " << trial;
+  }
+}
+
+TEST(KeepNullRowsTest, RewriteRulesRefuse) {
+  Table t = MakeTable({{"k", DataType::kInt64},
+                       {"a", DataType::kString},
+                       {"b", DataType::kInt64}},
+                      {{I(1), S("x"), I(10)}});
+  EXPECT_TRUE(t.SetKey({"k", "a"}).ok());
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable("t", std::move(t)));
+  ASSERT_OK_AND_ASSIGN(PlanPtr scan, MakeScan(catalog, "t"));
+  PlanPtr pivot = MakeGPivot(scan, KeepSpec());
+
+  PlanPtr select = MakeSelect(pivot, Gt(Col("k"), Lit(int64_t{0})));
+  EXPECT_TRUE(
+      rewrite::PullPivotThroughSelect(select).status().IsNotApplicable());
+  EXPECT_TRUE(rewrite::SplitPivotByMeasures(pivot, 1).status()
+                  .IsNotApplicable());
+}
+
+TEST(KeepNullRowsTest, UpdateStrategyRefusedAtCompileTime) {
+  Table t = MakeTable({{"k", DataType::kInt64},
+                       {"a", DataType::kString},
+                       {"b", DataType::kInt64}},
+                      {{I(1), S("x"), I(10)}});
+  EXPECT_TRUE(t.SetKey({"k", "a"}).ok());
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable("t", std::move(t)));
+  ASSERT_OK_AND_ASSIGN(PlanPtr scan, MakeScan(catalog, "t"));
+  PlanPtr pivot = MakeGPivot(scan, KeepSpec());
+  auto compiled =
+      ivm::MaintenancePlan::Compile(pivot, RefreshStrategy::kUpdate);
+  EXPECT_TRUE(compiled.status().IsNotApplicable());
+}
+
+// The §8 case the update rules cannot handle: deleting the last *listed*
+// row of a key must keep the (k, ⊥, …, ⊥) view row as long as other rows of
+// that key remain. The insert/delete rules get this right.
+TEST(KeepNullRowsTest, InsertDeleteMaintenanceKeepsAllNullRow) {
+  Table t = MakeTable({{"k", DataType::kInt64},
+                       {"a", DataType::kString},
+                       {"b", DataType::kInt64}},
+                      {{I(1), S("x"), I(10)},
+                       {I(1), S("z"), I(99)},   // unlisted combo, same key
+                       {I(2), S("y"), I(20)}});
+  EXPECT_TRUE(t.SetKey({"k", "a"}).ok());
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable("t", std::move(t)));
+  ASSERT_OK_AND_ASSIGN(PlanPtr scan, MakeScan(catalog, "t"));
+  PlanPtr view = MakeGPivot(scan, KeepSpec());
+
+  ViewManager manager(std::move(catalog));
+  ASSERT_OK(manager.DefineView("v", view, RefreshStrategy::kInsertDelete));
+  EXPECT_EQ(manager.GetView("v").value()->num_rows(), 2u);
+
+  SourceDeltas deltas;
+  Delta delta = Delta::Empty(
+      manager.catalog().GetTable("t").value()->schema());
+  delta.deletes.AddRow({I(1), S("x"), I(10)});
+  deltas.emplace("t", std::move(delta));
+  ASSERT_OK(manager.ApplyUpdate(deltas));
+
+  const ivm::MaterializedView* mv = manager.GetView("v").value();
+  ASSERT_OK_AND_ASSIGN(Table recomputed, manager.RecomputeFromScratch("v"));
+  EXPECT_TRUE(BagEqual(recomputed, mv->table()));
+  // Key 1 is still present — its unlisted 'z' row keeps it alive — but all
+  // its cells are ⊥ now.
+  bool found = false;
+  for (const Row& row : mv->table().rows()) {
+    if (row[0] == I(1)) {
+      found = true;
+      EXPECT_TRUE(row[1].is_null());
+      EXPECT_TRUE(row[2].is_null());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KeepNullRowsTest, InsertDeleteMaintenanceRandomized) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 3; ++trial) {
+    RandomVerticalSpec vspec;
+    vspec.num_dims = 1;
+    vspec.num_measures = 1;
+    vspec.dim_alphabet = 4;
+    vspec.num_rows = 50;
+    Table base = RandomVerticalTable(vspec, &rng);
+    Catalog catalog;
+    ASSERT_OK(catalog.AddTable("t", base));
+    ASSERT_OK_AND_ASSIGN(PlanPtr scan, MakeScan(catalog, "t"));
+    PivotSpec spec;
+    spec.pivot_by = {"a1"};
+    spec.pivot_on = {"b1"};
+    spec.combos = {{S("v0")}, {S("v1")}};
+    spec.keep_all_null_rows = true;
+    PlanPtr view = MakeGPivot(scan, spec);
+
+    ViewManager manager(std::move(catalog));
+    ASSERT_OK(manager.DefineView("v", view, RefreshStrategy::kInsertDelete));
+
+    for (int round = 0; round < 3; ++round) {
+      const Table* current = manager.catalog().GetTable("t").value();
+      Delta delta = Delta::Empty(current->schema());
+      for (const Row& row : current->rows()) {
+        if (rng.Chance(0.15)) delta.deletes.AddRow(row);
+      }
+      SourceDeltas deltas;
+      deltas.emplace("t", std::move(delta));
+      ASSERT_OK(manager.ApplyUpdate(deltas));
+      ASSERT_OK_AND_ASSIGN(Table recomputed,
+                           manager.RecomputeFromScratch("v"));
+      ASSERT_TRUE(
+          BagEqual(recomputed, manager.GetView("v").value()->table()))
+          << "trial " << trial << " round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpivot

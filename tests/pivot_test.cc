@@ -1,0 +1,326 @@
+#include "core/gpivot.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pivot_spec.h"
+#include "exec/basic_ops.h"
+#include "test_util.h"
+#include "util/string_util.h"
+
+namespace gpivot {
+namespace {
+
+using testing::BagEqual;
+using testing::BagEqualModuloColumnOrder;
+using testing::D;
+using testing::I;
+using testing::MakeTable;
+using testing::N;
+using testing::RandomVerticalSpec;
+using testing::RandomVerticalTable;
+using testing::S;
+
+// The ItemInfo table of Fig. 1.
+Table ItemInfoTable() {
+  Table t = MakeTable({{"AuctionID", DataType::kInt64},
+                       {"Attribute", DataType::kString},
+                       {"Value", DataType::kString}},
+                      {{I(1), S("Manufacturer"), S("Sony")},
+                       {I(1), S("Type"), S("TV")},
+                       {I(2), S("Manufacturer"), S("Panasonic")},
+                       {I(3), S("Type"), S("VCR")},
+                       {I(3), S("Color"), S("Black")}});
+  EXPECT_TRUE(t.SetKey({"AuctionID", "Attribute"}).ok());
+  return t;
+}
+
+TEST(SimplePivotTest, Figure1Pivot) {
+  ASSERT_OK_AND_ASSIGN(
+      Table pivoted,
+      SimplePivot(ItemInfoTable(), "Attribute", "Value",
+                  {S("Manufacturer"), S("Type")}));
+  Table expected = MakeTable({{"AuctionID", DataType::kInt64},
+                              {"Manufacturer", DataType::kString},
+                              {"Type", DataType::kString}},
+                             {{I(1), S("Sony"), S("TV")},
+                              {I(2), S("Panasonic"), N()},
+                              {I(3), N(), S("VCR")}});
+  EXPECT_TRUE(BagEqual(expected, pivoted));
+  EXPECT_EQ(pivoted.key(), std::vector<std::string>{"AuctionID"});
+}
+
+TEST(SimplePivotTest, Figure1UnpivotRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(
+      Table pivoted,
+      SimplePivot(ItemInfoTable(), "Attribute", "Value",
+                  {S("Manufacturer"), S("Type")}));
+  ASSERT_OK_AND_ASSIGN(Table unpivoted,
+                       SimpleUnpivot(pivoted, {"Manufacturer", "Type"},
+                                     "Attribute", "Value"));
+  // The round trip recovers the listed attributes only ('Color' is gone).
+  Table expected = MakeTable({{"AuctionID", DataType::kInt64},
+                              {"Attribute", DataType::kString},
+                              {"Value", DataType::kString}},
+                             {{I(1), S("Manufacturer"), S("Sony")},
+                              {I(1), S("Type"), S("TV")},
+                              {I(2), S("Manufacturer"), S("Panasonic")},
+                              {I(3), S("Type"), S("VCR")}});
+  EXPECT_TRUE(BagEqual(expected, unpivoted));
+}
+
+// The sales table of Fig. 5.
+Table SalesTable() {
+  Table t = MakeTable({{"Country", DataType::kString},
+                       {"Manu", DataType::kString},
+                       {"Type", DataType::kString},
+                       {"Price", DataType::kInt64},
+                       {"Quantity", DataType::kInt64}},
+                      {{S("USA"), S("Sony"), S("TV"), I(220), I(100)},
+                       {S("USA"), S("Sony"), S("VCR"), I(250), I(50)},
+                       {S("USA"), S("Panasonic"), S("TV"), I(205), I(120)},
+                       {S("Japan"), S("Sony"), S("TV"), I(210), I(200)},
+                       {S("Japan"), S("Panasonic"), S("VCR"), I(280), I(60)}});
+  EXPECT_TRUE(t.SetKey({"Country", "Manu", "Type"}).ok());
+  return t;
+}
+
+PivotSpec SalesSpec() {
+  PivotSpec spec;
+  spec.pivot_by = {"Manu", "Type"};
+  spec.pivot_on = {"Price", "Quantity"};
+  spec.combos = PivotSpec::CrossProduct(
+      {{S("Sony"), S("Panasonic")}, {S("TV"), S("VCR")}});
+  return spec;
+}
+
+TEST(GPivotTest, Figure5MultiDimensionMultiMeasure) {
+  ASSERT_OK_AND_ASSIGN(Table pivoted, GPivot(SalesTable(), SalesSpec()));
+  ASSERT_EQ(pivoted.schema().num_columns(), 1 + 4 * 2);
+  EXPECT_EQ(pivoted.schema().column(1).name, "Sony**TV**Price");
+  EXPECT_EQ(pivoted.schema().column(2).name, "Sony**TV**Quantity");
+  EXPECT_EQ(pivoted.schema().column(7).name, "Panasonic**VCR**Price");
+  Table expected = MakeTable(
+      pivoted.schema().columns(),
+      {{S("USA"), I(220), I(100), I(250), I(50), I(205), I(120), N(), N()},
+       {S("Japan"), I(210), I(200), N(), N(), N(), N(), I(280), I(60)}});
+  EXPECT_TRUE(BagEqual(expected, pivoted));
+}
+
+TEST(GPivotTest, Figure5UnpivotInverse) {
+  ASSERT_OK_AND_ASSIGN(Table pivoted, GPivot(SalesTable(), SalesSpec()));
+  UnpivotSpec inverse = UnpivotSpec::InverseOf(SalesSpec());
+  ASSERT_OK_AND_ASSIGN(Table unpivoted, GUnpivot(pivoted, inverse));
+  EXPECT_TRUE(BagEqualModuloColumnOrder(SalesTable(), unpivoted));
+}
+
+TEST(GPivotTest, UnlistedCombosAreIgnored) {
+  PivotSpec spec;
+  spec.pivot_by = {"Manu", "Type"};
+  spec.pivot_on = {"Price", "Quantity"};
+  spec.combos = {{S("Sony"), S("TV")}};
+  ASSERT_OK_AND_ASSIGN(Table pivoted, GPivot(SalesTable(), spec));
+  // Only countries with a (Sony, TV) row appear.
+  ASSERT_EQ(pivoted.num_rows(), 2u);
+}
+
+TEST(GPivotTest, KeyViolationDetected) {
+  Table t = MakeTable({{"k", DataType::kInt64},
+                       {"a", DataType::kString},
+                       {"b", DataType::kInt64}},
+                      {{I(1), S("x"), I(10)}, {I(1), S("x"), I(20)}});
+  PivotSpec spec;
+  spec.pivot_by = {"a"};
+  spec.pivot_on = {"b"};
+  spec.combos = {{S("x")}};
+  auto result = GPivot(t, spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsConstraintViolation());
+}
+
+TEST(GPivotTest, ValidateRejectsMissingColumns) {
+  PivotSpec spec;
+  spec.pivot_by = {"nope"};
+  spec.pivot_on = {"b"};
+  spec.combos = {{S("x")}};
+  auto result = GPivot(SalesTable(), spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(GPivotTest, ValidateRejectsNullCombo) {
+  PivotSpec spec;
+  spec.pivot_by = {"Manu"};
+  spec.pivot_on = {"Price"};
+  spec.combos = {{N()}};
+  auto result = GPivot(SalesTable(), spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(GPivotTest, ValidateRejectsDuplicateCombo) {
+  PivotSpec spec;
+  spec.pivot_by = {"Manu"};
+  spec.pivot_on = {"Price"};
+  spec.combos = {{S("Sony")}, {S("Sony")}};
+  auto result = GPivot(SalesTable(), spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(GPivotTest, EmptyInputGivesEmptyOutput) {
+  Table t{Schema({{"k", DataType::kInt64},
+                  {"a", DataType::kString},
+                  {"b", DataType::kInt64}})};
+  PivotSpec spec;
+  spec.pivot_by = {"a"};
+  spec.pivot_on = {"b"};
+  spec.combos = {{S("x")}};
+  ASSERT_OK_AND_ASSIGN(Table pivoted, GPivot(t, spec));
+  EXPECT_EQ(pivoted.num_rows(), 0u);
+  EXPECT_EQ(pivoted.schema().num_columns(), 2u);
+}
+
+TEST(GUnpivotTest, SkipsAllNullGroups) {
+  Table t = MakeTable({{"k", DataType::kInt64},
+                       {"x**b1", DataType::kInt64},
+                       {"y**b1", DataType::kInt64}},
+                      {{I(1), I(10), N()}, {I(2), N(), N()}});
+  UnpivotSpec spec;
+  spec.name_columns = {"a"};
+  spec.value_columns = {"b1"};
+  spec.groups = {{{S("x")}, {"x**b1"}}, {{S("y")}, {"y**b1"}}};
+  ASSERT_OK_AND_ASSIGN(Table unpivoted, GUnpivot(t, spec));
+  Table expected = MakeTable({{"k", DataType::kInt64},
+                              {"a", DataType::kString},
+                              {"b1", DataType::kInt64}},
+                             {{I(1), S("x"), I(10)}});
+  EXPECT_TRUE(BagEqual(expected, unpivoted));
+}
+
+TEST(GUnpivotTest, PartiallyNullGroupSurvives) {
+  Table t = MakeTable({{"k", DataType::kInt64},
+                       {"x**b1", DataType::kInt64},
+                       {"x**b2", DataType::kInt64}},
+                      {{I(1), I(10), N()}});
+  UnpivotSpec spec;
+  spec.name_columns = {"a"};
+  spec.value_columns = {"b1", "b2"};
+  spec.groups = {{{S("x")}, {"x**b1", "x**b2"}}};
+  ASSERT_OK_AND_ASSIGN(Table unpivoted, GUnpivot(t, spec));
+  ASSERT_EQ(unpivoted.num_rows(), 1u);
+  EXPECT_TRUE(unpivoted.rows()[0][3].is_null());
+}
+
+TEST(GUnpivotTest, RejectsReusedSourceColumn) {
+  Table t = MakeTable({{"k", DataType::kInt64}, {"c", DataType::kInt64}},
+                      {{I(1), I(10)}});
+  UnpivotSpec spec;
+  spec.name_columns = {"a"};
+  spec.value_columns = {"b"};
+  spec.groups = {{{S("x")}, {"c"}}, {{S("y")}, {"c"}}};
+  auto result = GUnpivot(t, spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(PivotNameTest, RoundTrip) {
+  Row combo = {S("Sony"), S("TV")};
+  std::string name = PivotColumnName(combo, "Price");
+  EXPECT_EQ(name, "Sony**TV**Price");
+  ASSERT_OK_AND_ASSIGN(auto parsed, ParsePivotColumnName(name, 2));
+  EXPECT_EQ(parsed.first, (std::vector<std::string>{"Sony", "TV"}));
+  EXPECT_EQ(parsed.second, "Price");
+}
+
+TEST(PivotNameTest, ParseRejectsWrongArity) {
+  auto parsed = ParsePivotColumnName("Sony**TV**Price", 3);
+  EXPECT_FALSE(parsed.ok());
+}
+
+// --- Property tests: GPivot equals the literal Eq. 3 composition ----------
+
+struct ReferenceCase {
+  size_t num_dims;
+  size_t num_measures;
+  double null_fraction;
+};
+
+class GPivotReferenceTest
+    : public ::testing::TestWithParam<ReferenceCase> {};
+
+TEST_P(GPivotReferenceTest, MatchesOuterJoinDefinition) {
+  const ReferenceCase& param = GetParam();
+  Rng rng(7 + param.num_dims * 31 + param.num_measures);
+  for (int trial = 0; trial < 5; ++trial) {
+    RandomVerticalSpec spec;
+    spec.num_dims = param.num_dims;
+    spec.num_measures = param.num_measures;
+    spec.null_fraction = param.null_fraction;
+    Table input = RandomVerticalTable(spec, &rng);
+
+    PivotSpec pivot;
+    for (size_t d = 0; d < param.num_dims; ++d) {
+      pivot.pivot_by.push_back(StrCat("a", d + 1));
+    }
+    for (size_t b = 0; b < param.num_measures; ++b) {
+      pivot.pivot_on.push_back(StrCat("b", b + 1));
+    }
+    std::vector<std::vector<Value>> dims(
+        param.num_dims, {S("v0"), S("v1")});  // subset of the alphabet
+    pivot.combos = PivotSpec::CrossProduct(dims);
+
+    ASSERT_OK_AND_ASSIGN(Table fast, GPivot(input, pivot));
+    ASSERT_OK_AND_ASSIGN(Table reference, GPivotReference(input, pivot));
+    EXPECT_TRUE(BagEqual(reference, fast)) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GPivotReferenceTest,
+    ::testing::Values(ReferenceCase{1, 1, 0.0}, ReferenceCase{1, 1, 0.3},
+                      ReferenceCase{1, 2, 0.1}, ReferenceCase{2, 1, 0.1},
+                      ReferenceCase{2, 2, 0.2}, ReferenceCase{2, 3, 0.0},
+                      ReferenceCase{3, 2, 0.1}));
+
+// GUnpivot(GPivot(V)) recovers exactly the listed-combo rows whose
+// measures are not all ⊥ (Eq. 9 seen as a data property).
+class PivotRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PivotRoundTripTest, UnpivotRecoversListedRows) {
+  Rng rng(101 + GetParam());
+  RandomVerticalSpec spec;
+  spec.num_dims = GetParam();
+  spec.num_measures = 2;
+  spec.null_fraction = 0.15;
+  Table input = RandomVerticalTable(spec, &rng);
+
+  PivotSpec pivot;
+  for (size_t d = 0; d < spec.num_dims; ++d) {
+    pivot.pivot_by.push_back(StrCat("a", d + 1));
+  }
+  pivot.pivot_on = {"b1", "b2"};
+  std::vector<std::vector<Value>> dims(spec.num_dims,
+                                       {S("v0"), S("v1"), S("v2")});
+  pivot.combos = PivotSpec::CrossProduct(dims);
+
+  ASSERT_OK_AND_ASSIGN(Table pivoted, GPivot(input, pivot));
+  ASSERT_OK_AND_ASSIGN(
+      Table unpivoted, GUnpivot(pivoted, UnpivotSpec::InverseOf(pivot)));
+
+  // Expected: input rows whose measures are not all ⊥ (listed combos only —
+  // the alphabet equals the combo list here).
+  Table expected(input.schema());
+  for (const Row& row : input.rows()) {
+    bool all_null = true;
+    for (size_t b = 0; b < 2; ++b) {
+      if (!row[row.size() - 2 + b].is_null()) all_null = false;
+    }
+    if (!all_null) expected.AddRow(row);
+  }
+  EXPECT_TRUE(BagEqualModuloColumnOrder(expected, unpivoted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PivotRoundTripTest, ::testing::Values(1, 2));
+
+}  // namespace
+}  // namespace gpivot

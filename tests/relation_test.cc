@@ -1,0 +1,195 @@
+// Unit tests for the relational substrate: Value, Schema, Table, KeyIndex.
+#include <gtest/gtest.h>
+
+#include "algebra/plan.h"
+#include "relation/key_index.h"
+#include "relation/row.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "relation/value.h"
+#include "test_util.h"
+
+namespace gpivot {
+namespace {
+
+using testing::D;
+using testing::I;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+TEST(ValueTest, NullBasics) {
+  Value null;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_EQ(null.type(), DataType::kNull);
+  EXPECT_EQ(null.ToString(), "⊥");
+  EXPECT_EQ(null, Value::Null());
+}
+
+TEST(ValueTest, IntAndDoubleCompareNumerically) {
+  EXPECT_EQ(I(3), D(3.0));
+  EXPECT_NE(I(3), D(3.5));
+  EXPECT_TRUE(I(2) < D(2.5));
+  EXPECT_TRUE(D(1.5) < I(2));
+}
+
+TEST(ValueTest, EqualIntDoubleHashEqually) {
+  EXPECT_EQ(I(42).Hash(), D(42.0).Hash());
+}
+
+TEST(ValueTest, NullEqualsNullForGrouping) {
+  // Grouping / key semantics: ⊥ matches ⊥ (IS NOT DISTINCT FROM).
+  EXPECT_EQ(N(), N());
+  EXPECT_NE(N(), I(0));
+  EXPECT_NE(S(""), N());
+}
+
+TEST(ValueTest, TotalOrderRanks) {
+  EXPECT_TRUE(N() < I(-100));
+  EXPECT_TRUE(I(5) < S("a"));
+  EXPECT_FALSE(N() < N());
+  EXPECT_TRUE(S("a") < S("b"));
+}
+
+TEST(ValueTest, AccessorsAbortOnWrongKind) {
+  EXPECT_DEATH(N().AsInt(), "AsInt");
+  EXPECT_DEATH(I(1).AsString(), "AsString");
+  EXPECT_DEATH(S("x").AsNumeric(), "AsNumeric");
+}
+
+TEST(ValueTest, AsNumericCoercesInt) {
+  EXPECT_DOUBLE_EQ(I(7).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(D(7.5).AsNumeric(), 7.5);
+}
+
+TEST(SchemaTest, LookupAndNames) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(schema.FindColumn("b"), 1u);
+  EXPECT_FALSE(schema.FindColumn("c").has_value());
+  EXPECT_FALSE(schema.ColumnIndex("c").ok());
+  EXPECT_EQ(schema.ColumnNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SchemaTest, DuplicateNamesAbort) {
+  EXPECT_DEATH(
+      Schema({{"a", DataType::kInt64}, {"a", DataType::kInt64}}),
+      "duplicate column");
+}
+
+TEST(SchemaTest, ConcatRejectsCollision) {
+  Schema left({{"a", DataType::kInt64}});
+  Schema right({{"a", DataType::kString}});
+  EXPECT_TRUE(left.Concat(right).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ConcatAppends) {
+  Schema left({{"a", DataType::kInt64}});
+  Schema right({{"b", DataType::kString}});
+  ASSERT_OK_AND_ASSIGN(Schema combined, left.Concat(right));
+  EXPECT_EQ(combined.num_columns(), 2u);
+  EXPECT_EQ(combined.column(1).name, "b");
+}
+
+TEST(SchemaTest, DropAndSelectAndRename) {
+  Schema schema({{"a", DataType::kInt64},
+                 {"b", DataType::kString},
+                 {"c", DataType::kDouble}});
+  ASSERT_OK_AND_ASSIGN(Schema dropped, schema.Drop({"b"}));
+  EXPECT_EQ(dropped.ColumnNames(), (std::vector<std::string>{"a", "c"}));
+  EXPECT_TRUE(schema.Drop({"zz"}).status().IsNotFound());
+  Schema selected = schema.Select({2, 0});
+  EXPECT_EQ(selected.ColumnNames(), (std::vector<std::string>{"c", "a"}));
+  Schema renamed = schema.Rename(1, "bb");
+  EXPECT_TRUE(renamed.HasColumn("bb"));
+  EXPECT_FALSE(renamed.HasColumn("b"));
+}
+
+TEST(RowTest, ProjectAndHash) {
+  Row row = {I(1), S("x"), D(2.5)};
+  Row projected = ProjectRow(row, {2, 0});
+  EXPECT_EQ(projected, (Row{D(2.5), I(1)}));
+  EXPECT_EQ(HashRowAt(row, {0, 1}), HashRow(Row{I(1), S("x")}));
+  EXPECT_TRUE(RowsEqualAt(row, {0}, Row{I(1)}, {0}));
+  EXPECT_FALSE(RowsEqualAt(row, {1}, Row{S("y")}, {0}));
+}
+
+TEST(TableTest, AddRowChecksArity) {
+  Table t{Schema({{"a", DataType::kInt64}})};
+  t.AddRow({I(1)});
+  EXPECT_DEATH(t.AddRow({I(1), I(2)}), "arity");
+}
+
+TEST(TableTest, KeyValidation) {
+  Table t = MakeTable({{"k", DataType::kInt64}, {"v", DataType::kInt64}},
+                      {{I(1), I(10)}, {I(2), I(20)}, {I(1), I(30)}});
+  ASSERT_OK(t.SetKey({"k"}));
+  EXPECT_TRUE(t.ValidateKey().IsConstraintViolation());
+  EXPECT_TRUE(t.SetKey({"nope"}).IsNotFound());
+}
+
+TEST(TableTest, BagEqualsIgnoresOrderRespectsMultiplicity) {
+  Table a = MakeTable({{"x", DataType::kInt64}}, {{I(1)}, {I(2)}, {I(1)}});
+  Table b = MakeTable({{"x", DataType::kInt64}}, {{I(2)}, {I(1)}, {I(1)}});
+  Table c = MakeTable({{"x", DataType::kInt64}}, {{I(1)}, {I(2)}, {I(2)}});
+  EXPECT_TRUE(a.BagEquals(b));
+  EXPECT_FALSE(a.BagEquals(c));
+}
+
+TEST(TableTest, BagEqualsRequiresSameSchema) {
+  Table a = MakeTable({{"x", DataType::kInt64}}, {{I(1)}});
+  Table b = MakeTable({{"y", DataType::kInt64}}, {{I(1)}});
+  EXPECT_FALSE(a.BagEquals(b));
+}
+
+TEST(TableTest, SortedIsDeterministic) {
+  Table t = MakeTable({{"x", DataType::kInt64}, {"y", DataType::kString}},
+                      {{I(2), S("b")}, {I(1), S("z")}, {I(2), S("a")}});
+  Table sorted = t.Sorted();
+  EXPECT_EQ(sorted.rows()[0], (Row{I(1), S("z")}));
+  EXPECT_EQ(sorted.rows()[1], (Row{I(2), S("a")}));
+}
+
+TEST(KeyIndexTest, LookupInsertEraseReposition) {
+  Table t = MakeTable({{"k", DataType::kInt64}, {"v", DataType::kInt64}},
+                      {{I(1), I(10)}, {I(2), I(20)}});
+  KeyIndex index(t, {0});
+  EXPECT_EQ(index.LookupKey({I(1)}), 0u);
+  EXPECT_EQ(index.LookupKey({I(2)}), 1u);
+  EXPECT_FALSE(index.LookupKey({I(3)}).has_value());
+
+  index.Insert({I(3), I(30)}, 2);
+  EXPECT_EQ(index.LookupKey({I(3)}), 2u);
+  index.EraseKey({I(1)});
+  EXPECT_FALSE(index.LookupKey({I(1)}).has_value());
+  index.Reposition({I(3), I(30)}, 0);
+  EXPECT_EQ(index.LookupKey({I(3)}), 0u);
+}
+
+TEST(KeyIndexTest, DuplicateKeysAbort) {
+  Table t = MakeTable({{"k", DataType::kInt64}}, {{I(1)}, {I(1)}});
+  EXPECT_DEATH(KeyIndex(t, {0}), "duplicate key");
+}
+
+TEST(CatalogTest, CopyOnWriteIsolation) {
+  Catalog original;
+  ASSERT_OK(original.AddTable(
+      "t", MakeTable({{"x", DataType::kInt64}}, {{I(1)}})));
+  Catalog snapshot = original;
+  original.GetMutableTable("t")->AddRow({I(2)});
+  ASSERT_OK_AND_ASSIGN(const Table* changed, original.GetTable("t"));
+  ASSERT_OK_AND_ASSIGN(const Table* unchanged, snapshot.GetTable("t"));
+  EXPECT_EQ(changed->num_rows(), 2u);
+  EXPECT_EQ(unchanged->num_rows(), 1u);
+}
+
+TEST(CatalogTest, MissingTableErrors) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.GetTable("nope").status().IsNotFound());
+  EXPECT_TRUE(catalog.GetSharedTable("nope").status().IsNotFound());
+  ASSERT_OK(catalog.AddTable("t", Table(Schema{})));
+  EXPECT_TRUE(catalog.AddTable("t", Table(Schema{})).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace gpivot

@@ -1,0 +1,174 @@
+// Tests for the pivot-pullup rewriter driver (§3 step 1) and the
+// maintenance planner's plan compilation, exercised on the paper's three
+// experiment views.
+#include "rewrite/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "ivm/maintenance.h"
+#include "rewrite/rules.h"
+#include "test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/views.h"
+
+namespace gpivot {
+namespace {
+
+using ivm::MaintenancePlan;
+using ivm::RefreshStrategy;
+using rewrite::PullUpPivots;
+using rewrite::RewriteOutcome;
+using rewrite::TopShape;
+using testing::BagEqualModuloColumnOrder;
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpch::Config config;
+    config.scale_factor = 0.001;
+    config.seed = 11;
+    config_ = config;
+    ASSERT_OK_AND_ASSIGN(catalog_, tpch::MakeCatalog(tpch::Generate(config)));
+  }
+
+  void ExpectEquivalent(const PlanPtr& original, const PlanPtr& rewritten) {
+    ASSERT_OK_AND_ASSIGN(Table expected, Evaluate(original, catalog_));
+    ASSERT_OK_AND_ASSIGN(Table actual, Evaluate(rewritten, catalog_));
+    EXPECT_TRUE(BagEqualModuloColumnOrder(expected, actual));
+  }
+
+  tpch::Config config_;
+  Catalog catalog_;
+};
+
+TEST_F(RewriterTest, View1PivotReachesTop) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr view, tpch::View1(catalog_, 7));
+  ASSERT_OK_AND_ASSIGN(RewriteOutcome outcome, PullUpPivots(view));
+  EXPECT_EQ(outcome.top_shape, TopShape::kGPivotTop);
+  EXPECT_EQ(outcome.pivots_pulled, 2);  // through both joins
+  ExpectEquivalent(view, outcome.plan);
+}
+
+TEST_F(RewriterTest, View2SelectPivotPairReachesTop) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr view, tpch::View2(catalog_, 7, 30000.0));
+  ASSERT_OK_AND_ASSIGN(RewriteOutcome outcome, PullUpPivots(view));
+  EXPECT_EQ(outcome.top_shape, TopShape::kSelectOverGPivotTop);
+  ExpectEquivalent(view, outcome.plan);
+}
+
+TEST_F(RewriterTest, View3KeepsPivotOverGroupBy) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr view,
+                       tpch::View3(catalog_, config_.first_year,
+                                   config_.num_years));
+  ASSERT_OK_AND_ASSIGN(RewriteOutcome outcome, PullUpPivots(view));
+  EXPECT_EQ(outcome.top_shape, TopShape::kGPivotOverGroupByTop);
+  ExpectEquivalent(view, outcome.plan);
+}
+
+TEST_F(RewriterTest, AlreadyTopPivotIsUntouched) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr lineitem, MakeScan(catalog_, "lineitem"));
+  PivotSpec spec;
+  spec.pivot_by = {"linenumber"};
+  spec.pivot_on = {"extendedprice"};
+  spec.combos = {{Value::Int(1)}, {Value::Int(2)}};
+  PlanPtr pivot = MakeGPivot(lineitem, spec);
+  ASSERT_OK_AND_ASSIGN(RewriteOutcome outcome, PullUpPivots(pivot));
+  EXPECT_EQ(outcome.plan, pivot);
+  EXPECT_EQ(outcome.pivots_pulled, 0);
+}
+
+TEST_F(RewriterTest, PlanWithoutPivotIsOtherShape) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr orders, MakeScan(catalog_, "orders"));
+  ASSERT_OK_AND_ASSIGN(PlanPtr customer, MakeScan(catalog_, "customer"));
+  PlanPtr join = MakeJoin(orders, customer, {"custkey"});
+  ASSERT_OK_AND_ASSIGN(RewriteOutcome outcome, PullUpPivots(join));
+  EXPECT_EQ(outcome.top_shape, TopShape::kOther);
+}
+
+TEST_F(RewriterTest, RebuildWithChildrenPreservesParameters) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr view, tpch::View1(catalog_, 3));
+  std::vector<PlanPtr> children = view->children();
+  ASSERT_OK_AND_ASSIGN(PlanPtr rebuilt,
+                       rewrite::RebuildWithChildren(view, children));
+  EXPECT_EQ(rebuilt->kind(), view->kind());
+  ASSERT_OK_AND_ASSIGN(Schema original_schema, view->OutputSchema());
+  ASSERT_OK_AND_ASSIGN(Schema rebuilt_schema, rebuilt->OutputSchema());
+  EXPECT_EQ(original_schema, rebuilt_schema);
+}
+
+// ---- Maintenance planner compilation ----------------------------------------
+
+TEST_F(RewriterTest, CompileUpdateForView1) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr view, tpch::View1(catalog_, 7));
+  ASSERT_OK_AND_ASSIGN(MaintenancePlan plan,
+                       MaintenancePlan::Compile(view,
+                                                RefreshStrategy::kUpdate));
+  EXPECT_EQ(plan.effective_query()->kind(), PlanKind::kGPivot);
+}
+
+TEST_F(RewriterTest, CompileCombinedSelectForView2) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr view, tpch::View2(catalog_, 7, 30000.0));
+  ASSERT_OK_AND_ASSIGN(
+      MaintenancePlan plan,
+      MaintenancePlan::Compile(view, RefreshStrategy::kCombinedSelect));
+  EXPECT_EQ(plan.effective_query()->kind(), PlanKind::kSelect);
+}
+
+TEST_F(RewriterTest, CompileCombinedSelectRejectsView1) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr view, tpch::View1(catalog_, 7));
+  auto plan = MaintenancePlan::Compile(view, RefreshStrategy::kCombinedSelect);
+  EXPECT_TRUE(plan.status().IsNotApplicable());
+}
+
+TEST_F(RewriterTest, CompileCombinedGroupByRejectsView1) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr view, tpch::View1(catalog_, 7));
+  auto plan =
+      MaintenancePlan::Compile(view, RefreshStrategy::kCombinedGroupBy);
+  EXPECT_TRUE(plan.status().IsNotApplicable());
+}
+
+TEST_F(RewriterTest, CompileAddsCountStarWhenMissing) {
+  // A View-3 variant whose GROUPBY lacks COUNT(*): the planner must inject
+  // one (Fig. 28) so deletes are maintainable.
+  ASSERT_OK_AND_ASSIGN(PlanPtr lineitem, MakeScan(catalog_, "lineitem"));
+  ASSERT_OK_AND_ASSIGN(PlanPtr orders, MakeScan(catalog_, "orders"));
+  PlanPtr joined = MakeJoin(lineitem, orders, {"orderkey"});
+  PlanPtr aggregated =
+      MakeGroupBy(joined, {"custkey", "orderyear"},
+                  {AggSpec::Sum("extendedprice", "sum")});
+  PivotSpec spec;
+  spec.pivot_by = {"orderyear"};
+  spec.pivot_on = {"sum"};
+  for (int y = 1992; y < 1998; ++y) spec.combos.push_back({Value::Int(y)});
+  PlanPtr view = MakeGPivot(aggregated, spec);
+
+  ASSERT_OK_AND_ASSIGN(
+      MaintenancePlan plan,
+      MaintenancePlan::Compile(view, RefreshStrategy::kCombinedGroupBy));
+  ASSERT_OK_AND_ASSIGN(Schema schema, plan.effective_query()->OutputSchema());
+  EXPECT_TRUE(schema.HasColumn("1992**cnt_star"));
+  // The effective view with the count is a superset of the original's
+  // columns.
+  ASSERT_OK_AND_ASSIGN(Schema original_schema, view->OutputSchema());
+  for (const Column& c : original_schema.columns()) {
+    EXPECT_TRUE(schema.HasColumn(c.name)) << c.name;
+  }
+}
+
+TEST_F(RewriterTest, CompileSelectPushdownForView2) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr view, tpch::View2(catalog_, 7, 30000.0));
+  ASSERT_OK_AND_ASSIGN(
+      MaintenancePlan plan,
+      MaintenancePlan::Compile(view,
+                               RefreshStrategy::kSelectPushdownUpdate));
+  // After Eq. 7 + pullup the pivot tops the plan and the σ is gone from
+  // the top (folded into the self-join below).
+  EXPECT_EQ(plan.effective_query()->kind(), PlanKind::kGPivot);
+  ASSERT_OK_AND_ASSIGN(Table original, Evaluate(view, catalog_));
+  ASSERT_OK_AND_ASSIGN(Table effective,
+                       Evaluate(plan.effective_query(), catalog_));
+  EXPECT_TRUE(BagEqualModuloColumnOrder(original, effective));
+}
+
+}  // namespace
+}  // namespace gpivot

@@ -1,0 +1,123 @@
+#include "test_util.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exec/basic_ops.h"
+#include "util/string_util.h"
+
+namespace gpivot::testing {
+
+Table MakeTable(std::vector<Column> columns, std::vector<Row> rows) {
+  return Table(Schema(std::move(columns)), std::move(rows));
+}
+
+namespace {
+
+std::unordered_map<Row, int64_t, RowHash, RowEq> RowCounts(const Table& t) {
+  std::unordered_map<Row, int64_t, RowHash, RowEq> counts;
+  for (const Row& row : t.rows()) ++counts[row];
+  return counts;
+}
+
+::testing::AssertionResult CompareRowBags(const Table& expected,
+                                          const Table& actual) {
+  auto expected_counts = RowCounts(expected);
+  auto actual_counts = RowCounts(actual);
+  for (const auto& [row, count] : expected_counts) {
+    auto it = actual_counts.find(row);
+    int64_t have = it == actual_counts.end() ? 0 : it->second;
+    if (have != count) {
+      return ::testing::AssertionFailure()
+             << "row " << RowToString(row) << " expected x" << count
+             << " but found x" << have << "\nexpected:\n"
+             << expected.Sorted().ToString() << "actual:\n"
+             << actual.Sorted().ToString();
+    }
+  }
+  if (actual.num_rows() != expected.num_rows()) {
+    return ::testing::AssertionFailure()
+           << "row counts differ: expected " << expected.num_rows()
+           << ", actual " << actual.num_rows() << "\nexpected:\n"
+           << expected.Sorted().ToString() << "actual:\n"
+           << actual.Sorted().ToString();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace
+
+::testing::AssertionResult BagEqualModuloColumnOrder(const Table& expected,
+                                                     const Table& actual) {
+  std::vector<std::string> expected_names = expected.schema().ColumnNames();
+  for (const std::string& name : expected_names) {
+    if (!actual.schema().HasColumn(name)) {
+      return ::testing::AssertionFailure()
+             << "actual is missing column '" << name << "'; actual schema "
+             << actual.schema().ToString();
+    }
+  }
+  if (actual.schema().num_columns() != expected.schema().num_columns()) {
+    return ::testing::AssertionFailure()
+           << "column counts differ: expected "
+           << expected.schema().ToString() << ", actual "
+           << actual.schema().ToString();
+  }
+  auto aligned = exec::Project(actual, expected_names);
+  if (!aligned.ok()) {
+    return ::testing::AssertionFailure() << aligned.status().ToString();
+  }
+  return CompareRowBags(expected, *aligned);
+}
+
+::testing::AssertionResult BagEqual(const Table& expected,
+                                    const Table& actual) {
+  if (expected.schema() != actual.schema()) {
+    return ::testing::AssertionFailure()
+           << "schemas differ: expected " << expected.schema().ToString()
+           << ", actual " << actual.schema().ToString();
+  }
+  return CompareRowBags(expected, actual);
+}
+
+Table RandomVerticalTable(const RandomVerticalSpec& spec, Rng* rng) {
+  std::vector<Column> columns = {{"k", DataType::kInt64}};
+  for (size_t d = 0; d < spec.num_dims; ++d) {
+    columns.push_back({StrCat("a", d + 1), DataType::kString});
+  }
+  for (size_t b = 0; b < spec.num_measures; ++b) {
+    columns.push_back({StrCat("b", b + 1), DataType::kInt64});
+  }
+  Table table{Schema(columns)};
+
+  std::unordered_set<Row, RowHash, RowEq> used_keys;
+  size_t attempts = 0;
+  while (table.num_rows() < spec.num_rows &&
+         attempts < spec.num_rows * 20) {
+    ++attempts;
+    Row row;
+    row.push_back(Value::Int(rng->Int(1, spec.num_keys)));
+    for (size_t d = 0; d < spec.num_dims; ++d) {
+      row.push_back(
+          Value::Str(StrCat("v", rng->Int(0, spec.dim_alphabet - 1))));
+    }
+    // (k, dims) must form a key.
+    Row key(row.begin(), row.begin() + 1 + spec.num_dims);
+    if (!used_keys.insert(std::move(key)).second) continue;
+    for (size_t b = 0; b < spec.num_measures; ++b) {
+      row.push_back(rng->Chance(spec.null_fraction)
+                        ? Value::Null()
+                        : Value::Int(rng->Int(0, 999)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::vector<std::string> key_columns = {"k"};
+  for (size_t d = 0; d < spec.num_dims; ++d) {
+    key_columns.push_back(StrCat("a", d + 1));
+  }
+  Status st = table.SetKey(key_columns);
+  (void)st;
+  return table;
+}
+
+}  // namespace gpivot::testing

@@ -1,0 +1,69 @@
+#ifndef GPIVOT_TESTS_TEST_UTIL_H_
+#define GPIVOT_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relation/table.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace gpivot::testing {
+
+// Shorthand literal constructors.
+inline Value I(int64_t v) { return Value::Int(v); }
+inline Value D(double v) { return Value::Real(v); }
+inline Value S(const char* v) { return Value::Str(v); }
+inline Value N() { return Value::Null(); }
+
+// Builds a table from column specs and row literals.
+Table MakeTable(std::vector<Column> columns, std::vector<Row> rows);
+
+// gtest helper: asserts `result` is OK and yields its value.
+#define ASSERT_OK(expr)                                                  \
+  do {                                                                   \
+    auto _st = (expr);                                                   \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                             \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                       \
+  auto GPIVOT_TEST_CONCAT(_res_, __LINE__) = (expr);          \
+  ASSERT_TRUE(GPIVOT_TEST_CONCAT(_res_, __LINE__).ok())       \
+      << GPIVOT_TEST_CONCAT(_res_, __LINE__).status().ToString(); \
+  lhs = std::move(GPIVOT_TEST_CONCAT(_res_, __LINE__)).value()
+
+#define GPIVOT_TEST_CONCAT_INNER(a, b) a##b
+#define GPIVOT_TEST_CONCAT(a, b) GPIVOT_TEST_CONCAT_INNER(a, b)
+
+// Bag equality that tolerates column reordering and declared-type
+// differences: both tables must expose the same column-name set; `actual`
+// is projected into `expected`'s column order and the row multisets
+// compared. Used to verify rewrite rules, which may permute columns.
+::testing::AssertionResult BagEqualModuloColumnOrder(const Table& expected,
+                                                     const Table& actual);
+
+// Strict bag equality (same schema incl. order, same row multiset) with a
+// readable diff.
+::testing::AssertionResult BagEqual(const Table& expected,
+                                    const Table& actual);
+
+// Random keyed "vertical" table for pivot property tests: columns
+// (k INT, a1.. STR dims, b1.. measures), with (k, dims) forming a key. Dims
+// draw from small alphabets so combos repeat; measures may be NULL with
+// probability `null_fraction`.
+struct RandomVerticalSpec {
+  size_t num_rows = 60;
+  int num_keys = 12;          // distinct k values
+  size_t num_dims = 1;        // a1..am
+  int dim_alphabet = 3;       // values "v0".."v{n-1}" per dim
+  size_t num_measures = 2;    // b1..bn
+  double null_fraction = 0.1;
+};
+Table RandomVerticalTable(const RandomVerticalSpec& spec, Rng* rng);
+
+}  // namespace gpivot::testing
+
+#endif  // GPIVOT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,206 @@
+// Tests for the TPC-H-like generator and the three experiment views.
+#include "tpch/dbgen.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_util.h"
+#include "tpch/views.h"
+
+namespace gpivot {
+namespace {
+
+using testing::I;
+
+tpch::Config SmallConfig() {
+  tpch::Config config;
+  config.scale_factor = 0.001;
+  config.seed = 99;
+  return config;
+}
+
+TEST(DbgenTest, DeterministicForSeed) {
+  tpch::Data a = tpch::Generate(SmallConfig());
+  tpch::Data b = tpch::Generate(SmallConfig());
+  EXPECT_TRUE(a.lineitem.BagEquals(b.lineitem));
+  EXPECT_TRUE(a.orders.BagEquals(b.orders));
+  EXPECT_TRUE(a.customer.BagEquals(b.customer));
+}
+
+TEST(DbgenTest, DifferentSeedsDiffer) {
+  tpch::Config other = SmallConfig();
+  other.seed = 100;
+  tpch::Data a = tpch::Generate(SmallConfig());
+  tpch::Data b = tpch::Generate(other);
+  EXPECT_FALSE(a.lineitem.BagEquals(b.lineitem));
+}
+
+TEST(DbgenTest, RatiosAndKeys) {
+  tpch::Data data = tpch::Generate(SmallConfig());
+  EXPECT_EQ(data.customer.num_rows(), 150u);
+  EXPECT_EQ(data.orders.num_rows(), 1500u);
+  EXPECT_GT(data.lineitem.num_rows(), 1500u);
+  ASSERT_OK(data.customer.ValidateKey());
+  ASSERT_OK(data.orders.ValidateKey());
+  ASSERT_OK(data.lineitem.ValidateKey());
+}
+
+TEST(DbgenTest, ForeignKeysResolve) {
+  tpch::Data data = tpch::Generate(SmallConfig());
+  std::unordered_set<int64_t> custkeys;
+  for (const Row& row : data.customer.rows()) {
+    custkeys.insert(row[0].AsInt());
+  }
+  std::unordered_set<int64_t> orderkeys;
+  for (const Row& row : data.orders.rows()) {
+    orderkeys.insert(row[0].AsInt());
+    EXPECT_TRUE(custkeys.count(row[1].AsInt()) > 0);
+  }
+  for (const Row& row : data.lineitem.rows()) {
+    EXPECT_TRUE(orderkeys.count(row[0].AsInt()) > 0);
+  }
+}
+
+TEST(DbgenTest, LineNumbersWithinPivotRange) {
+  tpch::Config config = SmallConfig();
+  tpch::Data data = tpch::Generate(config);
+  size_t ln = data.lineitem.schema().ColumnIndexOrDie("linenumber");
+  for (const Row& row : data.lineitem.rows()) {
+    EXPECT_GE(row[ln].AsInt(), 1);
+    EXPECT_LE(row[ln].AsInt(), config.max_initial_lines);
+  }
+}
+
+TEST(DbgenTest, SomeOrdersAreLineless) {
+  tpch::Data data = tpch::Generate(SmallConfig());
+  std::unordered_set<int64_t> with_lines;
+  for (const Row& row : data.lineitem.rows()) {
+    with_lines.insert(row[0].AsInt());
+  }
+  EXPECT_LT(with_lines.size(), data.orders.num_rows());
+}
+
+TEST(DeltaGenTest, DeletesComeFromLineitem) {
+  tpch::Config config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(Catalog catalog,
+                       tpch::MakeCatalog(tpch::Generate(config)));
+  ASSERT_OK_AND_ASSIGN(auto deltas,
+                       tpch::MakeLineitemDeletes(catalog, 0.05, 1));
+  const ivm::Delta& delta = deltas.at("lineitem");
+  EXPECT_TRUE(delta.inserts.empty());
+  const Table* lineitem = catalog.GetTable("lineitem").value();
+  size_t expected = static_cast<size_t>(lineitem->num_rows() * 0.05);
+  EXPECT_EQ(delta.deletes.num_rows(), expected);
+  // Every delete row exists (would fail application otherwise).
+  Table copy = *lineitem;
+  ASSERT_OK(ivm::ApplyDeltaToTable(&copy, delta));
+}
+
+TEST(DeltaGenTest, UpdateInsertsTargetExistingOrders) {
+  tpch::Config config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(Catalog catalog,
+                       tpch::MakeCatalog(tpch::Generate(config)));
+  ASSERT_OK_AND_ASSIGN(
+      auto deltas,
+      tpch::MakeLineitemInsertsUpdatesOnly(catalog, config, 0.05, 2));
+  const ivm::Delta& delta = deltas.at("lineitem");
+  EXPECT_TRUE(delta.deletes.empty());
+  EXPECT_GT(delta.inserts.num_rows(), 0u);
+  std::unordered_set<int64_t> with_lines;
+  const Table* lineitem = catalog.GetTable("lineitem").value();
+  for (const Row& row : lineitem->rows()) with_lines.insert(row[0].AsInt());
+  for (const Row& row : delta.inserts.rows()) {
+    EXPECT_TRUE(with_lines.count(row[0].AsInt()) > 0)
+        << "insert for line-less order " << row[0];
+    EXPECT_LE(row[1].AsInt(), config.max_line_numbers);
+  }
+  // The combined table must still satisfy the lineitem key.
+  Table copy = *lineitem;
+  ASSERT_OK(ivm::ApplyDeltaToTable(&copy, delta));
+  ASSERT_OK(copy.ValidateKey());
+}
+
+TEST(DeltaGenTest, NewKeyInsertsTargetLinelessOrders) {
+  tpch::Config config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(Catalog catalog,
+                       tpch::MakeCatalog(tpch::Generate(config)));
+  ASSERT_OK_AND_ASSIGN(
+      auto deltas,
+      tpch::MakeLineitemInsertsNewKeys(catalog, config, 0.03, 3));
+  const ivm::Delta& delta = deltas.at("lineitem");
+  EXPECT_GT(delta.inserts.num_rows(), 0u);
+  std::unordered_set<int64_t> with_lines;
+  const Table* lineitem = catalog.GetTable("lineitem").value();
+  for (const Row& row : lineitem->rows()) with_lines.insert(row[0].AsInt());
+  for (const Row& row : delta.inserts.rows()) {
+    EXPECT_TRUE(with_lines.count(row[0].AsInt()) == 0)
+        << "insert for order that already has lines " << row[0];
+  }
+}
+
+TEST(DeltaGenTest, MixedCombinesBoth) {
+  tpch::Config config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(Catalog catalog,
+                       tpch::MakeCatalog(tpch::Generate(config)));
+  ASSERT_OK_AND_ASSIGN(
+      auto deltas, tpch::MakeLineitemInsertsMixed(catalog, config, 0.04, 4));
+  const ivm::Delta& delta = deltas.at("lineitem");
+  EXPECT_GT(delta.inserts.num_rows(), 0u);
+  Table copy = *catalog.GetTable("lineitem").value();
+  ASSERT_OK(ivm::ApplyDeltaToTable(&copy, delta));
+  ASSERT_OK(copy.ValidateKey());
+}
+
+TEST(ViewsTest, View1ShapeAndSize) {
+  tpch::Config config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(Catalog catalog,
+                       tpch::MakeCatalog(tpch::Generate(config)));
+  ASSERT_OK_AND_ASSIGN(PlanPtr view,
+                       tpch::View1(catalog, config.max_line_numbers));
+  ASSERT_OK_AND_ASSIGN(Table result, Evaluate(view, catalog));
+  // One row per order with ≥1 line.
+  std::unordered_set<int64_t> with_lines;
+  const Table* lineitem = catalog.GetTable("lineitem").value();
+  for (const Row& row : lineitem->rows()) with_lines.insert(row[0].AsInt());
+  EXPECT_EQ(result.num_rows(), with_lines.size());
+  ASSERT_OK(result.ValidateKey());
+}
+
+TEST(ViewsTest, View2IsFilteredView1) {
+  tpch::Config config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(Catalog catalog,
+                       tpch::MakeCatalog(tpch::Generate(config)));
+  ASSERT_OK_AND_ASSIGN(PlanPtr v1,
+                       tpch::View1(catalog, config.max_line_numbers));
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr v2, tpch::View2(catalog, config.max_line_numbers, 30000.0));
+  ASSERT_OK_AND_ASSIGN(Table r1, Evaluate(v1, catalog));
+  ASSERT_OK_AND_ASSIGN(Table r2, Evaluate(v2, catalog));
+  EXPECT_LT(r2.num_rows(), r1.num_rows());
+  EXPECT_GT(r2.num_rows(), r1.num_rows() / 3);  // ~72% selectivity
+  size_t cell = r2.schema().ColumnIndexOrDie("1**extendedprice");
+  for (const Row& row : r2.rows()) {
+    ASSERT_FALSE(row[cell].is_null());
+    EXPECT_GT(row[cell].AsNumeric(), 30000.0);
+  }
+}
+
+TEST(ViewsTest, View3IsAnAggregateCrosstab) {
+  tpch::Config config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(Catalog catalog,
+                       tpch::MakeCatalog(tpch::Generate(config)));
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr view, tpch::View3(catalog, config.first_year,
+                                config.num_years));
+  ASSERT_OK_AND_ASSIGN(Table result, Evaluate(view, catalog));
+  ASSERT_OK_AND_ASSIGN(Schema schema, view->OutputSchema());
+  EXPECT_TRUE(schema.HasColumn("1992**sum"));
+  EXPECT_TRUE(schema.HasColumn("1997**cnt"));
+  EXPECT_EQ(schema.num_columns(), 2u + 2u * config.num_years);
+  EXPECT_GT(result.num_rows(), 0u);
+  ASSERT_OK(result.ValidateKey());
+}
+
+}  // namespace
+}  // namespace gpivot
