@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pivot_exec.dir/bench_ablation_pivot_exec.cc.o"
+  "CMakeFiles/bench_ablation_pivot_exec.dir/bench_ablation_pivot_exec.cc.o.d"
+  "bench_ablation_pivot_exec"
+  "bench_ablation_pivot_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pivot_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

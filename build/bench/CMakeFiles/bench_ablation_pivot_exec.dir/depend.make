@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_pivot_exec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig34_view1_insert_update.dir/bench_fig34_view1_insert_update.cc.o"
+  "CMakeFiles/bench_fig34_view1_insert_update.dir/bench_fig34_view1_insert_update.cc.o.d"
+  "bench_fig34_view1_insert_update"
+  "bench_fig34_view1_insert_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig34_view1_insert_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

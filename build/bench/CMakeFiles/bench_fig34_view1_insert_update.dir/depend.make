@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig34_view1_insert_update.
+# This may be replaced when dependencies are built.

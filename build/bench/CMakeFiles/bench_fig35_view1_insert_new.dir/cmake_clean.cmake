@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig35_view1_insert_new.dir/bench_fig35_view1_insert_new.cc.o"
+  "CMakeFiles/bench_fig35_view1_insert_new.dir/bench_fig35_view1_insert_new.cc.o.d"
+  "bench_fig35_view1_insert_new"
+  "bench_fig35_view1_insert_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig35_view1_insert_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

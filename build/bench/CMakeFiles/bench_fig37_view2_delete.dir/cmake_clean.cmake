@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig37_view2_delete.dir/bench_fig37_view2_delete.cc.o"
+  "CMakeFiles/bench_fig37_view2_delete.dir/bench_fig37_view2_delete.cc.o.d"
+  "bench_fig37_view2_delete"
+  "bench_fig37_view2_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig37_view2_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

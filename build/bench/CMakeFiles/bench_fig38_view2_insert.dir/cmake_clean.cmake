@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig38_view2_insert.dir/bench_fig38_view2_insert.cc.o"
+  "CMakeFiles/bench_fig38_view2_insert.dir/bench_fig38_view2_insert.cc.o.d"
+  "bench_fig38_view2_insert"
+  "bench_fig38_view2_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig38_view2_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

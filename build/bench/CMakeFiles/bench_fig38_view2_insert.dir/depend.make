@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig38_view2_insert.
+# This may be replaced when dependencies are built.

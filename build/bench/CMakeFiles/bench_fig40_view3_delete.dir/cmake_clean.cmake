@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig40_view3_delete.dir/bench_fig40_view3_delete.cc.o"
+  "CMakeFiles/bench_fig40_view3_delete.dir/bench_fig40_view3_delete.cc.o.d"
+  "bench_fig40_view3_delete"
+  "bench_fig40_view3_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig40_view3_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

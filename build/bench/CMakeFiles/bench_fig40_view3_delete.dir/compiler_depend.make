@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig40_view3_delete.
+# This may be replaced when dependencies are built.

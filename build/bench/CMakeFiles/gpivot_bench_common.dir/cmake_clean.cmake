@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/gpivot_bench_common.dir/bench_common.cc.o.d"
+  "libgpivot_bench_common.a"
+  "libgpivot_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_catalog.dir/auction_catalog.cpp.o"
+  "CMakeFiles/auction_catalog.dir/auction_catalog.cpp.o.d"
+  "auction_catalog"
+  "auction_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizontal_aggregation.dir/horizontal_aggregation.cpp.o"
+  "CMakeFiles/horizontal_aggregation.dir/horizontal_aggregation.cpp.o.d"
+  "horizontal_aggregation"
+  "horizontal_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizontal_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

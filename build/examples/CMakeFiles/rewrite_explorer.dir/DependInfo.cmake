@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rewrite_explorer.cpp" "examples/CMakeFiles/rewrite_explorer.dir/rewrite_explorer.cpp.o" "gcc" "examples/CMakeFiles/rewrite_explorer.dir/rewrite_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpch/CMakeFiles/gpivot_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ivm/CMakeFiles/gpivot_ivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/gpivot_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/gpivot_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpivot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gpivot_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/gpivot_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/gpivot_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpivot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_explorer.dir/rewrite_explorer.cpp.o"
+  "CMakeFiles/rewrite_explorer.dir/rewrite_explorer.cpp.o.d"
+  "rewrite_explorer"
+  "rewrite_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales_crosstab.dir/sales_crosstab.cpp.o"
+  "CMakeFiles/sales_crosstab.dir/sales_crosstab.cpp.o.d"
+  "sales_crosstab"
+  "sales_crosstab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales_crosstab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

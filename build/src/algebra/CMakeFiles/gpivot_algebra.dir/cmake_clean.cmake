@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_algebra.dir/evaluate.cc.o"
+  "CMakeFiles/gpivot_algebra.dir/evaluate.cc.o.d"
+  "CMakeFiles/gpivot_algebra.dir/plan.cc.o"
+  "CMakeFiles/gpivot_algebra.dir/plan.cc.o.d"
+  "libgpivot_algebra.a"
+  "libgpivot_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

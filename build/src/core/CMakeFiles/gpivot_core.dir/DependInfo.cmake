@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gpivot.cc" "src/core/CMakeFiles/gpivot_core.dir/gpivot.cc.o" "gcc" "src/core/CMakeFiles/gpivot_core.dir/gpivot.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/core/CMakeFiles/gpivot_core.dir/parallel.cc.o" "gcc" "src/core/CMakeFiles/gpivot_core.dir/parallel.cc.o.d"
+  "/root/repo/src/core/pivot_spec.cc" "src/core/CMakeFiles/gpivot_core.dir/pivot_spec.cc.o" "gcc" "src/core/CMakeFiles/gpivot_core.dir/pivot_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/gpivot_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/gpivot_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/gpivot_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpivot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

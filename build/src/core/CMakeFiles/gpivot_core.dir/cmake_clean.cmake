@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_core.dir/gpivot.cc.o"
+  "CMakeFiles/gpivot_core.dir/gpivot.cc.o.d"
+  "CMakeFiles/gpivot_core.dir/parallel.cc.o"
+  "CMakeFiles/gpivot_core.dir/parallel.cc.o.d"
+  "CMakeFiles/gpivot_core.dir/pivot_spec.cc.o"
+  "CMakeFiles/gpivot_core.dir/pivot_spec.cc.o.d"
+  "libgpivot_core.a"
+  "libgpivot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

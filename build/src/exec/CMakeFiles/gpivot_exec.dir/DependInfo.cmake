@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/basic_ops.cc" "src/exec/CMakeFiles/gpivot_exec.dir/basic_ops.cc.o" "gcc" "src/exec/CMakeFiles/gpivot_exec.dir/basic_ops.cc.o.d"
+  "/root/repo/src/exec/group_by.cc" "src/exec/CMakeFiles/gpivot_exec.dir/group_by.cc.o" "gcc" "src/exec/CMakeFiles/gpivot_exec.dir/group_by.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/exec/CMakeFiles/gpivot_exec.dir/join.cc.o" "gcc" "src/exec/CMakeFiles/gpivot_exec.dir/join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/gpivot_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/gpivot_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpivot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

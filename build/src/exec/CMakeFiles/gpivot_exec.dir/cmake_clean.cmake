@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_exec.dir/basic_ops.cc.o"
+  "CMakeFiles/gpivot_exec.dir/basic_ops.cc.o.d"
+  "CMakeFiles/gpivot_exec.dir/group_by.cc.o"
+  "CMakeFiles/gpivot_exec.dir/group_by.cc.o.d"
+  "CMakeFiles/gpivot_exec.dir/join.cc.o"
+  "CMakeFiles/gpivot_exec.dir/join.cc.o.d"
+  "libgpivot_exec.a"
+  "libgpivot_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

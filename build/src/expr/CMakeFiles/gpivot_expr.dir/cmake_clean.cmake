@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_expr.dir/aggregate.cc.o"
+  "CMakeFiles/gpivot_expr.dir/aggregate.cc.o.d"
+  "CMakeFiles/gpivot_expr.dir/expr.cc.o"
+  "CMakeFiles/gpivot_expr.dir/expr.cc.o.d"
+  "libgpivot_expr.a"
+  "libgpivot_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpivot_expr.a"
+)

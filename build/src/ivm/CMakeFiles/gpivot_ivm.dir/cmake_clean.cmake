@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_ivm.dir/apply.cc.o"
+  "CMakeFiles/gpivot_ivm.dir/apply.cc.o.d"
+  "CMakeFiles/gpivot_ivm.dir/delta.cc.o"
+  "CMakeFiles/gpivot_ivm.dir/delta.cc.o.d"
+  "CMakeFiles/gpivot_ivm.dir/maintenance.cc.o"
+  "CMakeFiles/gpivot_ivm.dir/maintenance.cc.o.d"
+  "CMakeFiles/gpivot_ivm.dir/propagate.cc.o"
+  "CMakeFiles/gpivot_ivm.dir/propagate.cc.o.d"
+  "CMakeFiles/gpivot_ivm.dir/view_manager.cc.o"
+  "CMakeFiles/gpivot_ivm.dir/view_manager.cc.o.d"
+  "libgpivot_ivm.a"
+  "libgpivot_ivm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_ivm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

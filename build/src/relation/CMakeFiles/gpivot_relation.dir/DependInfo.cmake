@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/key_index.cc" "src/relation/CMakeFiles/gpivot_relation.dir/key_index.cc.o" "gcc" "src/relation/CMakeFiles/gpivot_relation.dir/key_index.cc.o.d"
+  "/root/repo/src/relation/row.cc" "src/relation/CMakeFiles/gpivot_relation.dir/row.cc.o" "gcc" "src/relation/CMakeFiles/gpivot_relation.dir/row.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/relation/CMakeFiles/gpivot_relation.dir/schema.cc.o" "gcc" "src/relation/CMakeFiles/gpivot_relation.dir/schema.cc.o.d"
+  "/root/repo/src/relation/table.cc" "src/relation/CMakeFiles/gpivot_relation.dir/table.cc.o" "gcc" "src/relation/CMakeFiles/gpivot_relation.dir/table.cc.o.d"
+  "/root/repo/src/relation/value.cc" "src/relation/CMakeFiles/gpivot_relation.dir/value.cc.o" "gcc" "src/relation/CMakeFiles/gpivot_relation.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpivot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_relation.dir/key_index.cc.o"
+  "CMakeFiles/gpivot_relation.dir/key_index.cc.o.d"
+  "CMakeFiles/gpivot_relation.dir/row.cc.o"
+  "CMakeFiles/gpivot_relation.dir/row.cc.o.d"
+  "CMakeFiles/gpivot_relation.dir/schema.cc.o"
+  "CMakeFiles/gpivot_relation.dir/schema.cc.o.d"
+  "CMakeFiles/gpivot_relation.dir/table.cc.o"
+  "CMakeFiles/gpivot_relation.dir/table.cc.o.d"
+  "CMakeFiles/gpivot_relation.dir/value.cc.o"
+  "CMakeFiles/gpivot_relation.dir/value.cc.o.d"
+  "libgpivot_relation.a"
+  "libgpivot_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/combine.cc" "src/rewrite/CMakeFiles/gpivot_rewrite.dir/combine.cc.o" "gcc" "src/rewrite/CMakeFiles/gpivot_rewrite.dir/combine.cc.o.d"
+  "/root/repo/src/rewrite/pullup.cc" "src/rewrite/CMakeFiles/gpivot_rewrite.dir/pullup.cc.o" "gcc" "src/rewrite/CMakeFiles/gpivot_rewrite.dir/pullup.cc.o.d"
+  "/root/repo/src/rewrite/pushdown.cc" "src/rewrite/CMakeFiles/gpivot_rewrite.dir/pushdown.cc.o" "gcc" "src/rewrite/CMakeFiles/gpivot_rewrite.dir/pushdown.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/rewrite/CMakeFiles/gpivot_rewrite.dir/rewriter.cc.o" "gcc" "src/rewrite/CMakeFiles/gpivot_rewrite.dir/rewriter.cc.o.d"
+  "/root/repo/src/rewrite/unpivot_rules.cc" "src/rewrite/CMakeFiles/gpivot_rewrite.dir/unpivot_rules.cc.o" "gcc" "src/rewrite/CMakeFiles/gpivot_rewrite.dir/unpivot_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/gpivot_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpivot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gpivot_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/gpivot_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/gpivot_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpivot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_rewrite.dir/combine.cc.o"
+  "CMakeFiles/gpivot_rewrite.dir/combine.cc.o.d"
+  "CMakeFiles/gpivot_rewrite.dir/pullup.cc.o"
+  "CMakeFiles/gpivot_rewrite.dir/pullup.cc.o.d"
+  "CMakeFiles/gpivot_rewrite.dir/pushdown.cc.o"
+  "CMakeFiles/gpivot_rewrite.dir/pushdown.cc.o.d"
+  "CMakeFiles/gpivot_rewrite.dir/rewriter.cc.o"
+  "CMakeFiles/gpivot_rewrite.dir/rewriter.cc.o.d"
+  "CMakeFiles/gpivot_rewrite.dir/unpivot_rules.cc.o"
+  "CMakeFiles/gpivot_rewrite.dir/unpivot_rules.cc.o.d"
+  "libgpivot_rewrite.a"
+  "libgpivot_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/gpivot_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/gpivot_tpch.dir/views.cc.o"
+  "CMakeFiles/gpivot_tpch.dir/views.cc.o.d"
+  "libgpivot_tpch.a"
+  "libgpivot_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_util.dir/random.cc.o"
+  "CMakeFiles/gpivot_util.dir/random.cc.o.d"
+  "CMakeFiles/gpivot_util.dir/status.cc.o"
+  "CMakeFiles/gpivot_util.dir/status.cc.o.d"
+  "CMakeFiles/gpivot_util.dir/string_util.cc.o"
+  "CMakeFiles/gpivot_util.dir/string_util.cc.o.d"
+  "libgpivot_util.a"
+  "libgpivot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

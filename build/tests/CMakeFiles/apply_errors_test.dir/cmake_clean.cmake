@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apply_errors_test.dir/apply_errors_test.cc.o"
+  "CMakeFiles/apply_errors_test.dir/apply_errors_test.cc.o.d"
+  "apply_errors_test"
+  "apply_errors_test.pdb"
+  "apply_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apply_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

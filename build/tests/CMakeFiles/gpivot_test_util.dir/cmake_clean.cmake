@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpivot_test_util.dir/test_util.cc.o"
+  "CMakeFiles/gpivot_test_util.dir/test_util.cc.o.d"
+  "libgpivot_test_util.a"
+  "libgpivot_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpivot_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

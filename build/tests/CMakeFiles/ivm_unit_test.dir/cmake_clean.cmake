@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_unit_test.dir/ivm_unit_test.cc.o"
+  "CMakeFiles/ivm_unit_test.dir/ivm_unit_test.cc.o.d"
+  "ivm_unit_test"
+  "ivm_unit_test.pdb"
+  "ivm_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_views_test.dir/ivm_views_test.cc.o"
+  "CMakeFiles/ivm_views_test.dir/ivm_views_test.cc.o.d"
+  "ivm_views_test"
+  "ivm_views_test.pdb"
+  "ivm_views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

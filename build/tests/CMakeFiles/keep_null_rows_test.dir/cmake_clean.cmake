@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keep_null_rows_test.dir/keep_null_rows_test.cc.o"
+  "CMakeFiles/keep_null_rows_test.dir/keep_null_rows_test.cc.o.d"
+  "keep_null_rows_test"
+  "keep_null_rows_test.pdb"
+  "keep_null_rows_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keep_null_rows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for keep_null_rows_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unpivot_rules_test.dir/unpivot_rules_test.cc.o"
+  "CMakeFiles/unpivot_rules_test.dir/unpivot_rules_test.cc.o.d"
+  "unpivot_rules_test"
+  "unpivot_rules_test.pdb"
+  "unpivot_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unpivot_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pivot_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm_views_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/unpivot_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/rewriter_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/fig2_crosstab_test[1]_include.cmake")
+include("/root/repo/build/tests/keep_null_rows_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm_multisource_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_property_test[1]_include.cmake")
+include("/root/repo/build/tests/apply_errors_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_property_test[1]_include.cmake")
