@@ -57,6 +57,7 @@ void RunRefresh(benchmark::State& state, ViewId view,
                 double fraction) {
   const BenchContext& context = SharedContext();
   const bool verify = std::getenv("GPIVOT_BENCH_VERIFY") != nullptr;
+  const bool audit = std::getenv("GPIVOT_BENCH_AUDIT") != nullptr;
   size_t view_rows = 0;
   size_t delta_rows = 0;
   for (auto _ : state) {
@@ -93,6 +94,12 @@ void RunRefresh(benchmark::State& state, ViewId view,
           manager.GetView("v").value()->table()))
           << "verification failed for "
           << ivm::RefreshStrategyToString(strategy);
+    }
+    if (audit) {
+      Status audited = manager.Audit();
+      GPIVOT_CHECK(audited.ok())
+          << "audit failed for " << ivm::RefreshStrategyToString(strategy)
+          << ": " << audited.ToString();
     }
     state.ResumeTiming();
   }

@@ -35,7 +35,10 @@ const BenchContext& SharedContext();
 // a fresh view under `strategy`, generates the workload delta at that
 // fraction of lineitem, and times ViewManager::ApplyUpdate (propagate +
 // apply + base-table advance). Set GPIVOT_BENCH_VERIFY=1 to additionally
-// compare the refreshed view against full recomputation (unmeasured).
+// compare the refreshed view against full recomputation (unmeasured);
+// GPIVOT_BENCH_AUDIT=1 runs the full consistency auditor
+// (ViewManager::Audit — integrity check plus recompute comparison) after
+// each epoch, also outside the timed region.
 void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
                     const std::vector<ivm::RefreshStrategy>& strategies);
 

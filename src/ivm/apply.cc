@@ -1,6 +1,10 @@
 #include "ivm/apply.h"
 
+#include <unordered_map>
+#include <utility>
+
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace gpivot::ivm {
@@ -23,6 +27,85 @@ Value SubValues(const Value& a, const Value& b) {
   return Value::Real(a.AsNumeric() - b.AsNumeric());
 }
 
+// Builds a MergePlan against a read-only view: the planners below consult
+// and modify the pending overlay so intra-epoch sequences (delete a key,
+// then re-insert it) resolve exactly as the mutating rules would have, while
+// the view itself stays untouched.
+class MergeStager {
+ public:
+  explicit MergeStager(const MaterializedView& view) : view_(view) {}
+
+  // Current row for `key` across the view plus the overlay; nullptr when
+  // absent (never in the view, or deleted earlier in this epoch).
+  const Row* Find(const Row& key) const {
+    auto it = overlay_.find(key);
+    if (it != overlay_.end()) {
+      const std::optional<Row>& after = records_[it->second].after;
+      return after.has_value() ? &*after : nullptr;
+    }
+    std::optional<size_t> position = view_.LookupKey(key);
+    if (!position.has_value()) return nullptr;
+    return &view_.RowAt(*position);
+  }
+
+  Status Insert(Row key, Row row) {
+    if (Find(key) != nullptr) {
+      return Status::ConstraintViolation(
+          StrCat("insert of duplicate view key ", RowToString(key)));
+    }
+    RecordFor(std::move(key)).after = std::move(row);
+    return Status::OK();
+  }
+
+  Status Update(Row key, Row row) {
+    if (Find(key) == nullptr) {
+      return Status::Internal(
+          StrCat("staged update of absent view key ", RowToString(key)));
+    }
+    RecordFor(std::move(key)).after = std::move(row);
+    return Status::OK();
+  }
+
+  Status Delete(Row key) {
+    if (Find(key) == nullptr) {
+      return Status::Internal(
+          StrCat("staged delete of absent view key ", RowToString(key)));
+    }
+    RecordFor(std::move(key)).after = std::nullopt;
+    return Status::OK();
+  }
+
+  MergePlan TakePlan() && { return MergePlan{std::move(records_)}; }
+
+ private:
+  MergeRecord& RecordFor(Row key) {
+    auto it = overlay_.find(key);
+    if (it != overlay_.end()) return records_[it->second];
+    MergeRecord record;
+    std::optional<size_t> position = view_.LookupKey(key);
+    if (position.has_value()) record.before = view_.RowAt(*position);
+    record.key = key;
+    overlay_.emplace(std::move(key), records_.size());
+    records_.push_back(std::move(record));
+    return records_.back();
+  }
+
+  const MaterializedView& view_;
+  std::vector<MergeRecord> records_;
+  std::unordered_map<Row, size_t, RowHash, RowEq> overlay_;
+};
+
+// Stage-and-commit for the single-view Apply* entry points. Execution after
+// a successful staging can only fail via fault injection; roll back so even
+// that path leaves no trace.
+Status CommitPlan(MaterializedView* view, Result<MergePlan> plan) {
+  if (!plan.ok()) return plan.status();
+  UndoLog undo;
+  Status st = ExecuteMergePlan(view, *plan, &undo);
+  if (!st.ok()) undo.Rollback(view);
+  return st;
+}
+
 }  // namespace
 
 Result<MaterializedView> MaterializedView::Create(Table initial) {
@@ -30,16 +113,23 @@ Result<MaterializedView> MaterializedView::Create(Table initial) {
     return Status::InvalidArgument(
         "materialized views must carry a key (§6.1)");
   }
-  GPIVOT_RETURN_NOT_OK(initial.ValidateKey());
   GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> key_indices,
                           initial.KeyIndices());
-  KeyIndex index(initial, std::move(key_indices));
+  // Build detects duplicate keys, so no separate ValidateKey pass.
+  GPIVOT_ASSIGN_OR_RETURN(KeyIndex index,
+                          KeyIndex::Build(initial, std::move(key_indices)));
   return MaterializedView(std::move(initial), std::move(index));
 }
 
-void MaterializedView::Insert(Row row) {
+Status MaterializedView::Insert(Row row) {
+  if (index_.Lookup(row, index_.key_indices()).has_value()) {
+    return Status::ConstraintViolation(
+        StrCat("insert of duplicate view key ",
+               RowToString(ProjectRow(row, index_.key_indices()))));
+  }
   index_.Insert(row, table_.num_rows());
   table_.AddRow(std::move(row));
+  return Status::OK();
 }
 
 void MaterializedView::Update(size_t position, Row row) {
@@ -60,6 +150,49 @@ void MaterializedView::Delete(size_t position) {
     index_.Reposition(rows[position], position);
   }
   rows.pop_back();
+}
+
+void MaterializedView::UndoInsert() {
+  GPIVOT_CHECK(!table_.empty()) << "UndoInsert on empty view";
+  std::vector<Row>& rows = table_.mutable_rows();
+  index_.EraseKey(ProjectRow(rows.back(), index_.key_indices()));
+  rows.pop_back();
+}
+
+void MaterializedView::UndoDelete(size_t position, Row row) {
+  std::vector<Row>& rows = table_.mutable_rows();
+  GPIVOT_CHECK(position <= rows.size()) << "UndoDelete out of range";
+  if (position == rows.size()) {
+    // The deleted row was the last one; no swap happened.
+    index_.Insert(row, position);
+    rows.push_back(std::move(row));
+    return;
+  }
+  // Delete moved the then-last row into `position`; move it back to the end
+  // and re-seat the deleted row where it was.
+  rows.push_back(std::move(rows[position]));
+  index_.Reposition(rows.back(), rows.size() - 1);
+  index_.Insert(row, position);
+  rows[position] = std::move(row);
+}
+
+Status MaterializedView::ValidateIntegrity() const {
+  if (index_.size() != table_.num_rows()) {
+    return Status::Internal(StrCat("key index holds ", index_.size(),
+                                   " entries for ", table_.num_rows(),
+                                   " view rows"));
+  }
+  for (size_t i = 0; i < table_.num_rows(); ++i) {
+    Row key = ProjectRow(table_.rows()[i], index_.key_indices());
+    std::optional<size_t> position = index_.LookupKey(key);
+    if (!position.has_value() || *position != i) {
+      return Status::Internal(
+          StrCat("key index maps key ", RowToString(key), " of row ", i,
+                 position.has_value() ? StrCat(" to position ", *position)
+                                      : " to nothing"));
+    }
+  }
+  return Status::OK();
 }
 
 bool PivotLayout::GroupPresent(const Row& row, size_t combo) const {
@@ -107,65 +240,119 @@ Result<PivotLayout> PivotLayout::FromSchema(const Schema& view_schema,
   return layout;
 }
 
-Status ApplyInsertDelete(MaterializedView* view, const Delta& view_delta) {
-  const std::vector<size_t>& key_indices = view->key_indices();
-  for (const Row& row : view_delta.deletes.rows()) {
-    auto position = view->Lookup(row, key_indices);
-    if (!position.has_value()) {
-      return Status::ConstraintViolation(
-          StrCat("delete of absent view row ", RowToString(row)));
+void UndoLog::Rollback(MaterializedView* view) {
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    switch (it->kind) {
+      case Op::kInsert:
+        view->UndoInsert();
+        break;
+      case Op::kUpdate:
+        view->Update(it->position, std::move(it->old_row));
+        break;
+      case Op::kDelete:
+        view->UndoDelete(it->position, std::move(it->old_row));
+        break;
     }
-    view->Delete(*position);
   }
-  for (const Row& row : view_delta.inserts.rows()) {
-    view->Insert(row);
+  ops_.clear();
+  if (rebuilt_from_.has_value()) {
+    *view = std::move(*rebuilt_from_);
+    rebuilt_from_.reset();
+  }
+}
+
+Status ExecuteMergePlan(MaterializedView* view, const MergePlan& plan,
+                        UndoLog* undo) {
+  const size_t mid = (plan.records.size() + 1) / 2;
+  for (size_t i = 0; i < plan.records.size(); ++i) {
+    if (i == mid) GPIVOT_FAULT_POINT("ExecuteMergePlan::mid-commit");
+    const MergeRecord& record = plan.records[i];
+    if (!record.before.has_value() && !record.after.has_value()) continue;
+    std::optional<size_t> position = view->LookupKey(record.key);
+    if (record.before.has_value() != position.has_value()) {
+      return Status::Internal(
+          StrCat("merge plan out of sync with view at key ",
+                 RowToString(record.key)));
+    }
+    if (!record.before.has_value()) {
+      GPIVOT_RETURN_NOT_OK(view->Insert(*record.after));
+      undo->RecordInsert();
+    } else if (record.after.has_value()) {
+      undo->RecordUpdate(*position, view->RowAt(*position));
+      view->Update(*position, *record.after);
+    } else {
+      undo->RecordDelete(*position, view->RowAt(*position));
+      view->Delete(*position);
+    }
   }
   return Status::OK();
 }
 
-Status ApplyPivotUpdate(MaterializedView* view, const PivotLayout& layout,
-                        const Delta& pivoted_delta) {
-  const std::vector<size_t>& key_indices = view->key_indices();
+Result<MergePlan> StageInsertDelete(const MaterializedView& view,
+                                    const Delta& view_delta) {
+  const std::vector<size_t>& key_indices = view.key_indices();
+  MergeStager stager(view);
+  for (const Row& row : view_delta.deletes.rows()) {
+    Row key = ProjectRow(row, key_indices);
+    if (stager.Find(key) == nullptr) {
+      return Status::ConstraintViolation(
+          StrCat("delete of absent view row ", RowToString(row)));
+    }
+    GPIVOT_RETURN_NOT_OK(stager.Delete(std::move(key)));
+  }
+  for (const Row& row : view_delta.inserts.rows()) {
+    GPIVOT_RETURN_NOT_OK(stager.Insert(ProjectRow(row, key_indices), row));
+  }
+  return std::move(stager).TakePlan();
+}
+
+Result<MergePlan> StagePivotUpdate(const MaterializedView& view,
+                                   const PivotLayout& layout,
+                                   const Delta& pivoted_delta) {
+  const std::vector<size_t>& key_indices = view.key_indices();
+  MergeStager stager(view);
   // Delete case (Fig. 23 bottom): present delta groups turn to ⊥; rows with
   // every group ⊥ leave the view.
   for (const Row& d : pivoted_delta.deletes.rows()) {
-    auto position = view->Lookup(d, key_indices);
-    if (!position.has_value()) continue;  // key not in view: nothing to do
-    Row updated = view->RowAt(*position);
+    Row key = ProjectRow(d, key_indices);
+    const Row* current = stager.Find(key);
+    if (current == nullptr) continue;  // key not in view: nothing to do
+    Row updated = *current;
     for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
       if (layout.GroupPresent(d, c)) layout.ClearGroup(&updated, c);
     }
     if (layout.AllGroupsNull(updated)) {
-      view->Delete(*position);
+      GPIVOT_RETURN_NOT_OK(stager.Delete(std::move(key)));
     } else {
-      view->Update(*position, std::move(updated));
+      GPIVOT_RETURN_NOT_OK(stager.Update(std::move(key), std::move(updated)));
     }
   }
   // Insert case (Fig. 23 top): unmatched keys insert; matched keys take the
   // delta's groups in place (function f).
   for (const Row& d : pivoted_delta.inserts.rows()) {
-    auto position = view->Lookup(d, key_indices);
-    if (!position.has_value()) {
-      view->Insert(d);
+    Row key = ProjectRow(d, key_indices);
+    const Row* current = stager.Find(key);
+    if (current == nullptr) {
+      GPIVOT_RETURN_NOT_OK(stager.Insert(std::move(key), d));
       continue;
     }
-    Row updated = view->RowAt(*position);
+    Row updated = *current;
     for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
       if (!layout.GroupPresent(d, c)) continue;
       for (size_t b = 0; b < layout.spec.num_measures(); ++b) {
         updated[layout.CellIndex(c, b)] = d[layout.CellIndex(c, b)];
       }
     }
-    view->Update(*position, std::move(updated));
+    GPIVOT_RETURN_NOT_OK(stager.Update(std::move(key), std::move(updated)));
   }
-  return Status::OK();
+  return std::move(stager).TakePlan();
 }
 
-Status ApplyPivotGroupByUpdate(MaterializedView* view,
-                               const PivotLayout& layout,
-                               const AggregateLayout& aggs,
-                               const Delta& pivoted_delta) {
-  const std::vector<size_t>& key_indices = view->key_indices();
+Result<MergePlan> StagePivotGroupByUpdate(const MaterializedView& view,
+                                          const PivotLayout& layout,
+                                          const AggregateLayout& aggs,
+                                          const Delta& pivoted_delta) {
+  const std::vector<size_t>& key_indices = view.key_indices();
   const size_t count_measure = aggs.count_measure;
   for (AggFunc func : aggs.measure_funcs) {
     if (func != AggFunc::kSum && func != AggFunc::kCount &&
@@ -174,16 +361,18 @@ Status ApplyPivotGroupByUpdate(MaterializedView* view,
           "Fig. 27 rules maintain SUM/COUNT aggregates");
     }
   }
+  MergeStager stager(view);
 
   // Delete case: subtract partial aggregates; a subgroup whose count hits 0
   // empties; a row whose subgroups all emptied leaves the view.
   for (const Row& d : pivoted_delta.deletes.rows()) {
-    auto position = view->Lookup(d, key_indices);
-    if (!position.has_value()) {
+    Row key = ProjectRow(d, key_indices);
+    const Row* current = stager.Find(key);
+    if (current == nullptr) {
       return Status::ConstraintViolation(
           StrCat("aggregate delete for absent group ", RowToString(d)));
     }
-    Row updated = view->RowAt(*position);
+    Row updated = *current;
     for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
       if (!layout.GroupPresent(d, c)) continue;
       const Value& old_cnt = updated[layout.CellIndex(c, count_measure)];
@@ -208,21 +397,22 @@ Status ApplyPivotGroupByUpdate(MaterializedView* view,
       updated[layout.CellIndex(c, count_measure)] = Value::Int(new_cnt);
     }
     if (layout.AllGroupsNull(updated)) {
-      view->Delete(*position);
+      GPIVOT_RETURN_NOT_OK(stager.Delete(std::move(key)));
     } else {
-      view->Update(*position, std::move(updated));
+      GPIVOT_RETURN_NOT_OK(stager.Update(std::move(key), std::move(updated)));
     }
   }
 
   // Insert case: unmatched keys insert the partial aggregates as-is;
   // matched keys add them subgroup-wise.
   for (const Row& d : pivoted_delta.inserts.rows()) {
-    auto position = view->Lookup(d, key_indices);
-    if (!position.has_value()) {
-      view->Insert(d);
+    Row key = ProjectRow(d, key_indices);
+    const Row* current = stager.Find(key);
+    if (current == nullptr) {
+      GPIVOT_RETURN_NOT_OK(stager.Insert(std::move(key), d));
       continue;
     }
-    Row updated = view->RowAt(*position);
+    Row updated = *current;
     for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
       if (!layout.GroupPresent(d, c)) continue;
       if (!layout.GroupPresent(updated, c)) {
@@ -237,31 +427,33 @@ Status ApplyPivotGroupByUpdate(MaterializedView* view,
         updated[cell] = AddValues(updated[cell], d[cell]);
       }
     }
-    view->Update(*position, std::move(updated));
+    GPIVOT_RETURN_NOT_OK(stager.Update(std::move(key), std::move(updated)));
   }
-  return Status::OK();
+  return std::move(stager).TakePlan();
 }
 
-Status ApplySelectPivotUpdate(MaterializedView* view,
-                              const PivotLayout& layout,
-                              const CompiledExpr& condition,
-                              const Delta& pivoted_delta,
-                              const Table& recompute_candidates) {
-  const std::vector<size_t>& key_indices = view->key_indices();
+Result<MergePlan> StageSelectPivotUpdate(const MaterializedView& view,
+                                         const PivotLayout& layout,
+                                         const CompiledExpr& condition,
+                                         const Delta& pivoted_delta,
+                                         const Table& recompute_candidates) {
+  const std::vector<size_t>& key_indices = view.key_indices();
+  MergeStager stager(view);
 
   // Delete case (Fig. 29 bottom): like Fig. 23, but the updated row is also
   // re-checked against the (postponed) σ condition.
   for (const Row& d : pivoted_delta.deletes.rows()) {
-    auto position = view->Lookup(d, key_indices);
-    if (!position.has_value()) continue;  // was filtered out before: stays out
-    Row updated = view->RowAt(*position);
+    Row key = ProjectRow(d, key_indices);
+    const Row* current = stager.Find(key);
+    if (current == nullptr) continue;  // was filtered out before: stays out
+    Row updated = *current;
     for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
       if (layout.GroupPresent(d, c)) layout.ClearGroup(&updated, c);
     }
     if (layout.AllGroupsNull(updated) || !ValueIsTrue(condition(updated))) {
-      view->Delete(*position);
+      GPIVOT_RETURN_NOT_OK(stager.Delete(std::move(key)));
     } else {
-      view->Update(*position, std::move(updated));
+      GPIVOT_RETURN_NOT_OK(stager.Update(std::move(key), std::move(updated)));
     }
   }
 
@@ -269,25 +461,55 @@ Status ApplySelectPivotUpdate(MaterializedView* view,
   // that satisfied a null-intolerant condition keeps satisfying it after
   // cells are filled in, so no re-check is needed (§6.3.2 proof, case i).
   for (const Row& d : pivoted_delta.inserts.rows()) {
-    auto position = view->Lookup(d, key_indices);
-    if (!position.has_value()) continue;  // handled by the recompute term
-    Row updated = view->RowAt(*position);
+    Row key = ProjectRow(d, key_indices);
+    const Row* current = stager.Find(key);
+    if (current == nullptr) continue;  // handled by the recompute term
+    Row updated = *current;
     for (size_t c = 0; c < layout.spec.num_combos(); ++c) {
       if (!layout.GroupPresent(d, c)) continue;
       for (size_t b = 0; b < layout.spec.num_measures(); ++b) {
         updated[layout.CellIndex(c, b)] = d[layout.CellIndex(c, b)];
       }
     }
-    view->Update(*position, std::move(updated));
+    GPIVOT_RETURN_NOT_OK(stager.Update(std::move(key), std::move(updated)));
   }
 
   // Insert case, recompute term: keys the delta may have newly qualified.
   for (const Row& candidate : recompute_candidates.rows()) {
-    if (view->Lookup(candidate, key_indices).has_value()) continue;
+    Row key = ProjectRow(candidate, key_indices);
+    if (stager.Find(key) != nullptr) continue;
     if (!ValueIsTrue(condition(candidate))) continue;
-    view->Insert(candidate);
+    GPIVOT_RETURN_NOT_OK(stager.Insert(std::move(key), candidate));
   }
-  return Status::OK();
+  return std::move(stager).TakePlan();
+}
+
+Status ApplyInsertDelete(MaterializedView* view, const Delta& view_delta) {
+  return CommitPlan(view, StageInsertDelete(*view, view_delta));
+}
+
+Status ApplyPivotUpdate(MaterializedView* view, const PivotLayout& layout,
+                        const Delta& pivoted_delta) {
+  return CommitPlan(view, StagePivotUpdate(*view, layout, pivoted_delta));
+}
+
+Status ApplyPivotGroupByUpdate(MaterializedView* view,
+                               const PivotLayout& layout,
+                               const AggregateLayout& aggs,
+                               const Delta& pivoted_delta) {
+  return CommitPlan(view,
+                    StagePivotGroupByUpdate(*view, layout, aggs, pivoted_delta));
+}
+
+Status ApplySelectPivotUpdate(MaterializedView* view,
+                              const PivotLayout& layout,
+                              const CompiledExpr& condition,
+                              const Delta& pivoted_delta,
+                              const Table& recompute_candidates) {
+  return CommitPlan(view,
+                    StageSelectPivotUpdate(*view, layout, condition,
+                                           pivoted_delta,
+                                           recompute_candidates));
 }
 
 }  // namespace gpivot::ivm

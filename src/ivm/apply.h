@@ -1,6 +1,7 @@
 #ifndef GPIVOT_IVM_APPLY_H_
 #define GPIVOT_IVM_APPLY_H_
 
+#include <optional>
 #include <vector>
 
 #include "core/pivot_spec.h"
@@ -32,13 +33,28 @@ class MaterializedView {
                                const std::vector<size_t>& probe_indices) const {
     return index_.Lookup(row, probe_indices);
   }
+  // Position of the row whose key equals `key` (already projected).
+  std::optional<size_t> LookupKey(const Row& key) const {
+    return index_.LookupKey(key);
+  }
 
-  // Inserts a full row; its key must be absent.
-  void Insert(Row row);
+  // Inserts a full row; returns ConstraintViolation when its key is already
+  // present (delta contents come from callers, so this must not abort).
+  Status Insert(Row row);
   // Replaces the row at `position` (key must not change).
   void Update(size_t position, Row row);
   // Deletes the row at `position` (swap-with-last).
   void Delete(size_t position);
+
+  // Epoch-rollback primitives (see UndoLog). Each exactly inverts the
+  // corresponding mutator, restoring row order byte-identically; they assume
+  // the view is in the state the mutator left it in.
+  void UndoInsert();                          // removes the appended last row
+  void UndoDelete(size_t position, Row row);  // re-seats a swap-deleted row
+
+  // Verifies the key index exactly mirrors the table: one entry per row,
+  // each mapping the row's key to its position. Internal error on drift.
+  Status ValidateIntegrity() const;
 
   const Row& RowAt(size_t position) const { return table_.rows()[position]; }
 
@@ -74,17 +90,87 @@ struct PivotLayout {
                                         PivotSpec spec);
 };
 
-// Generic apply for the insert/delete propagation rules: bag-deletes the
-// delta's delete rows (by key) and inserts its insert rows. The deletion +
-// re-insertion churn this causes on pivoted views is the cost the update
-// rules avoid (§2.3).
-Status ApplyInsertDelete(MaterializedView* view, const Delta& view_delta);
+// ---- Staged MERGE ----------------------------------------------------------
+//
+// Each refresh rule is split into a *staging* half that computes the net
+// per-key effect against a read-only view, and an *execution* half that
+// mutates. Staging validates the whole delta up front (absent delete keys,
+// duplicate inserts, inconsistent aggregates) so an epoch either fails
+// before any mutation or commits a plan that cannot fail; execution keeps an
+// UndoLog so a fault mid-commit (or a failure in a later view of the same
+// epoch) rolls the view back byte-identically.
+
+// One key's net effect within an epoch.
+struct MergeRecord {
+  Row key;                    // the view key, projected
+  std::optional<Row> before;  // row in the view when staged; absent = insert
+  std::optional<Row> after;   // row the epoch installs; absent = delete
+};
+
+// The staged MERGE for one view. `records` are in first-touch order; every
+// record's `before` must match the view's contents at execution time.
+struct MergePlan {
+  std::vector<MergeRecord> records;
+
+  bool empty() const { return records.empty(); }
+};
+
+// Records the exact mutations ExecuteMergePlan performs so a failed epoch
+// can restore the view byte-identically, row order included. Operations are
+// undone in reverse order.
+class UndoLog {
+ public:
+  void RecordInsert() { ops_.push_back({Op::kInsert, 0, {}}); }
+  void RecordUpdate(size_t position, Row old_row) {
+    ops_.push_back({Op::kUpdate, position, std::move(old_row)});
+  }
+  void RecordDelete(size_t position, Row old_row) {
+    ops_.push_back({Op::kDelete, position, std::move(old_row)});
+  }
+  // For wholesale rebuilds (full recompute): stashes the pre-epoch view.
+  void RecordRebuild(MaterializedView old_view) {
+    rebuilt_from_ = std::move(old_view);
+  }
+
+  bool empty() const { return ops_.empty() && !rebuilt_from_.has_value(); }
+
+  // Reverts every recorded operation, leaving `view` in the exact state it
+  // had before the first one. The log is consumed.
+  void Rollback(MaterializedView* view);
+
+ private:
+  struct Op {
+    enum Kind { kInsert, kUpdate, kDelete } kind;
+    size_t position;
+    Row old_row;
+  };
+  std::vector<Op> ops_;
+  std::optional<MaterializedView> rebuilt_from_;
+};
+
+// Applies a staged plan, appending each performed mutation to `undo`. Fails
+// only on an injected fault or when the view no longer matches the plan's
+// `before` snapshots (Internal); the caller rolls back via `undo`.
+Status ExecuteMergePlan(MaterializedView* view, const MergePlan& plan,
+                        UndoLog* undo);
+
+// Staging halves of the §6/§7 apply rules. Each reads `view` without
+// mutating it and returns the epoch's MergePlan, or a descriptive error when
+// the delta is inconsistent with the view.
+
+// Generic insert/delete propagation rules: bag-deletes the delta's delete
+// rows (by key) and inserts its insert rows. The deletion + re-insertion
+// churn this causes on pivoted views is the cost the update rules avoid
+// (§2.3).
+Result<MergePlan> StageInsertDelete(const MaterializedView& view,
+                                    const Delta& view_delta);
 
 // Fig. 23: update propagation rules for a GPIVOT at the top of the plan.
 // `pivoted_delta.inserts` = GPIVOT(ΔV), `pivoted_delta.deletes` = GPIVOT(∇V)
-// where V is the pivot input. Deletes are applied first.
-Status ApplyPivotUpdate(MaterializedView* view, const PivotLayout& layout,
-                        const Delta& pivoted_delta);
+// where V is the pivot input. Deletes are staged first.
+Result<MergePlan> StagePivotUpdate(const MaterializedView& view,
+                                   const PivotLayout& layout,
+                                   const Delta& pivoted_delta);
 
 // Fig. 27: combined update rules for GPIVOT over GROUPBY. The measures are
 // aggregates; `measure_funcs[b]` gives each one's function and
@@ -94,10 +180,10 @@ struct AggregateLayout {
   std::vector<AggFunc> measure_funcs;
   size_t count_measure = 0;
 };
-Status ApplyPivotGroupByUpdate(MaterializedView* view,
-                               const PivotLayout& layout,
-                               const AggregateLayout& aggs,
-                               const Delta& pivoted_delta);
+Result<MergePlan> StagePivotGroupByUpdate(const MaterializedView& view,
+                                          const PivotLayout& layout,
+                                          const AggregateLayout& aggs,
+                                          const Delta& pivoted_delta);
 
 // Fig. 29: combined update rules for SELECT over GPIVOT. `condition` is the
 // σ's predicate compiled against the view schema. `recompute_candidates`
@@ -105,6 +191,21 @@ Status ApplyPivotGroupByUpdate(MaterializedView* view,
 // newly qualified (GPIVOT(π_K(σ_c'(ΔV)) ⋉ (V ⊎ ΔV)) in the paper); rows
 // whose key is absent from the view and that satisfy the condition are
 // inserted.
+Result<MergePlan> StageSelectPivotUpdate(const MaterializedView& view,
+                                         const PivotLayout& layout,
+                                         const CompiledExpr& condition,
+                                         const Delta& pivoted_delta,
+                                         const Table& recompute_candidates);
+
+// Stage-and-commit conveniences: the pre-epoch single-view apply entry
+// points, kept for tests and direct callers. On failure nothing is mutated.
+Status ApplyInsertDelete(MaterializedView* view, const Delta& view_delta);
+Status ApplyPivotUpdate(MaterializedView* view, const PivotLayout& layout,
+                        const Delta& pivoted_delta);
+Status ApplyPivotGroupByUpdate(MaterializedView* view,
+                               const PivotLayout& layout,
+                               const AggregateLayout& aggs,
+                               const Delta& pivoted_delta);
 Status ApplySelectPivotUpdate(MaterializedView* view,
                               const PivotLayout& layout,
                               const CompiledExpr& condition,

@@ -11,10 +11,21 @@ std::string Delta::ToString() const {
 }
 
 Status ApplyDeltaToTable(Table* table, const Delta& delta) {
+  TableUndo undo;
+  return ApplyDeltaToTableWithUndo(table, delta, &undo);
+}
+
+Status ApplyDeltaToTableWithUndo(Table* table, const Delta& delta,
+                                 TableUndo* undo) {
+  // Validate both sides before mutating anything: a schema mismatch in the
+  // inserts must not leave the deletes half-applied.
+  if (!delta.deletes.empty() && delta.deletes.schema() != table->schema()) {
+    return Status::InvalidArgument("delete delta schema mismatch");
+  }
+  if (!delta.inserts.empty() && delta.inserts.schema() != table->schema()) {
+    return Status::InvalidArgument("insert delta schema mismatch");
+  }
   if (!delta.deletes.empty()) {
-    if (delta.deletes.schema() != table->schema()) {
-      return Status::InvalidArgument("delete delta schema mismatch");
-    }
     size_t before = table->num_rows();
     GPIVOT_ASSIGN_OR_RETURN(Table remaining,
                             exec::BagDifference(*table, delta.deletes));
@@ -23,18 +34,28 @@ Status ApplyDeltaToTable(Table* table, const Delta& delta) {
           "some delete-delta rows did not match any stored row");
     }
     std::vector<std::string> key = table->key();
+    undo->replaced = std::move(*table);
     *table = std::move(remaining);
     GPIVOT_RETURN_NOT_OK(table->SetKey(std::move(key)));
+  } else if (!delta.inserts.empty()) {
+    undo->truncate_to = table->num_rows();
   }
-  if (!delta.inserts.empty()) {
-    if (delta.inserts.schema() != table->schema()) {
-      return Status::InvalidArgument("insert delta schema mismatch");
-    }
-    for (const Row& row : delta.inserts.rows()) {
-      table->AddRow(row);
-    }
+  for (const Row& row : delta.inserts.rows()) {
+    table->AddRow(row);
   }
   return Status::OK();
+}
+
+void RollbackTable(Table* table, TableUndo* undo) {
+  if (undo->replaced.has_value()) {
+    *table = std::move(*undo->replaced);
+    undo->replaced.reset();
+  } else if (undo->truncate_to.has_value()) {
+    std::vector<Row>& rows = table->mutable_rows();
+    rows.erase(rows.begin() + static_cast<ptrdiff_t>(*undo->truncate_to),
+               rows.end());
+    undo->truncate_to.reset();
+  }
 }
 
 }  // namespace gpivot::ivm

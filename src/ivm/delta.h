@@ -1,6 +1,7 @@
 #ifndef GPIVOT_IVM_DELTA_H_
 #define GPIVOT_IVM_DELTA_H_
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -30,7 +31,27 @@ using SourceDeltas = std::unordered_map<std::string, Delta>;
 
 // Applies `delta` to `table` in place: bag-deletes `delta.deletes` (each
 // delete row must match an existing row), then appends `delta.inserts`.
+// All-or-nothing per table: any failure leaves `table` untouched.
 Status ApplyDeltaToTable(Table* table, const Delta& delta);
+
+// What an epoch needs to restore a base table byte-identically after
+// ApplyDeltaToTableWithUndo. Exactly one restoration applies: a delta with
+// deletes rebuilds the table, so the whole pre-state is moved (not copied)
+// into `replaced`; an append-only delta just records the truncation point.
+// Neither set means the apply failed before mutating.
+struct TableUndo {
+  std::optional<Table> replaced;
+  std::optional<size_t> truncate_to;
+};
+
+// Same as ApplyDeltaToTable, but fills `undo` so the caller can restore the
+// exact pre-state with RollbackTable when a later step of the epoch fails.
+Status ApplyDeltaToTableWithUndo(Table* table, const Delta& delta,
+                                 TableUndo* undo);
+
+// Reverts a table mutated by ApplyDeltaToTableWithUndo; consumes `undo`.
+// No-op when the apply never mutated.
+void RollbackTable(Table* table, TableUndo* undo);
 
 }  // namespace gpivot::ivm
 

@@ -6,6 +6,7 @@
 #include "rewrite/rewriter.h"
 #include "rewrite/rules.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace gpivot::ivm {
@@ -370,45 +371,87 @@ Result<MaintenancePlan> MaintenancePlan::Compile(PlanPtr view_query,
   return Status::Internal("unknown strategy");
 }
 
-Status MaintenancePlan::Refresh(const Catalog& pre_catalog,
-                                const SourceDeltas& deltas,
-                                MaterializedView* view) const {
+Result<StagedRefresh> MaintenancePlan::Stage(const Catalog& pre_catalog,
+                                             const SourceDeltas& deltas,
+                                             const MaterializedView& view) const {
+  GPIVOT_FAULT_POINT("MaintenancePlan::Stage");
   DeltaPropagator propagator(&pre_catalog, &deltas);
+  StagedRefresh staged;
   switch (strategy_) {
-    case RefreshStrategy::kFullRecompute:
-      return RefreshFullRecompute(&propagator, view);
-    case RefreshStrategy::kInsertDelete:
-      return RefreshInsertDelete(&propagator, view);
+    case RefreshStrategy::kFullRecompute: {
+      GPIVOT_ASSIGN_OR_RETURN(MaterializedView rebuilt,
+                              StageFullRecompute(&propagator));
+      staged.rebuild = std::move(rebuilt);
+      return staged;
+    }
+    case RefreshStrategy::kInsertDelete: {
+      GPIVOT_ASSIGN_OR_RETURN(MergePlan merge,
+                              StageInsertDeleteRefresh(&propagator, view));
+      staged.merge = std::move(merge);
+      return staged;
+    }
     case RefreshStrategy::kUpdate:
-    case RefreshStrategy::kSelectPushdownUpdate:
-      return RefreshPivotUpdate(&propagator, view);
-    case RefreshStrategy::kCombinedGroupBy:
-      return RefreshCombinedGroupBy(&propagator, view);
-    case RefreshStrategy::kCombinedSelect:
-      return RefreshCombinedSelect(&propagator, view);
+    case RefreshStrategy::kSelectPushdownUpdate: {
+      GPIVOT_ASSIGN_OR_RETURN(MergePlan merge,
+                              StagePivotUpdateRefresh(&propagator, view));
+      staged.merge = std::move(merge);
+      return staged;
+    }
+    case RefreshStrategy::kCombinedGroupBy: {
+      GPIVOT_ASSIGN_OR_RETURN(MergePlan merge,
+                              StageCombinedGroupByRefresh(&propagator, view));
+      staged.merge = std::move(merge);
+      return staged;
+    }
+    case RefreshStrategy::kCombinedSelect: {
+      GPIVOT_ASSIGN_OR_RETURN(MergePlan merge,
+                              StageCombinedSelectRefresh(&propagator, view));
+      staged.merge = std::move(merge);
+      return staged;
+    }
   }
   return Status::Internal("unknown strategy");
 }
 
-Status MaintenancePlan::RefreshFullRecompute(DeltaPropagator* propagator,
-                                             MaterializedView* view) const {
+Status MaintenancePlan::CommitStaged(StagedRefresh staged,
+                                     MaterializedView* view, UndoLog* undo) {
+  if (staged.rebuild.has_value()) {
+    MaterializedView old = std::move(*view);
+    *view = std::move(*staged.rebuild);
+    undo->RecordRebuild(std::move(old));
+    return Status::OK();
+  }
+  GPIVOT_CHECK(staged.merge.has_value()) << "empty staged refresh";
+  return ExecuteMergePlan(view, *staged.merge, undo);
+}
+
+Status MaintenancePlan::Refresh(const Catalog& pre_catalog,
+                                const SourceDeltas& deltas,
+                                MaterializedView* view) const {
+  GPIVOT_ASSIGN_OR_RETURN(StagedRefresh staged,
+                          Stage(pre_catalog, deltas, *view));
+  UndoLog undo;
+  Status st = CommitStaged(std::move(staged), view, &undo);
+  if (!st.ok()) undo.Rollback(view);
+  return st;
+}
+
+Result<MaterializedView> MaintenancePlan::StageFullRecompute(
+    DeltaPropagator* propagator) const {
   GPIVOT_ASSIGN_OR_RETURN(Table recomputed,
                           propagator->EvaluatePost(effective_query_));
-  GPIVOT_ASSIGN_OR_RETURN(MaterializedView rebuilt,
-                          MaterializedView::Create(std::move(recomputed)));
-  *view = std::move(rebuilt);
-  return Status::OK();
+  return MaterializedView::Create(std::move(recomputed));
 }
 
-Status MaintenancePlan::RefreshInsertDelete(DeltaPropagator* propagator,
-                                            MaterializedView* view) const {
+Result<MergePlan> MaintenancePlan::StageInsertDeleteRefresh(
+    DeltaPropagator* propagator, const MaterializedView& view) const {
   GPIVOT_ASSIGN_OR_RETURN(Delta view_delta,
                           propagator->Propagate(effective_query_));
-  return ApplyInsertDelete(view, view_delta);
+  return StageInsertDelete(view, view_delta);
 }
 
-Status MaintenancePlan::RefreshPivotUpdate(DeltaPropagator* propagator,
-                                           MaterializedView* view) const {
+Result<MergePlan> MaintenancePlan::StagePivotUpdateRefresh(
+    DeltaPropagator* propagator, const MaterializedView& view) const {
   GPIVOT_CHECK(layout_.has_value()) << "missing layout";
   GPIVOT_ASSIGN_OR_RETURN(Delta child_delta,
                           propagator->Propagate(pivot_child_));
@@ -416,13 +459,13 @@ Status MaintenancePlan::RefreshPivotUpdate(DeltaPropagator* propagator,
                           GPivot(child_delta.inserts, layout_->spec));
   GPIVOT_ASSIGN_OR_RETURN(Table pivoted_del,
                           GPivot(child_delta.deletes, layout_->spec));
-  return ApplyPivotUpdate(view, *layout_,
+  return StagePivotUpdate(view, *layout_,
                           Delta{std::move(pivoted_ins),
                                 std::move(pivoted_del)});
 }
 
-Status MaintenancePlan::RefreshCombinedGroupBy(DeltaPropagator* propagator,
-                                               MaterializedView* view) const {
+Result<MergePlan> MaintenancePlan::StageCombinedGroupByRefresh(
+    DeltaPropagator* propagator, const MaterializedView& view) const {
   GPIVOT_CHECK(layout_.has_value() && agg_layout_.has_value())
       << "missing layouts";
   // Propagate only to the GROUPBY *input*; the group deltas are partial
@@ -437,13 +480,13 @@ Status MaintenancePlan::RefreshCombinedGroupBy(DeltaPropagator* propagator,
                                    group_aggregates_));
   GPIVOT_ASSIGN_OR_RETURN(Table pivoted_ins, GPivot(agg_ins, layout_->spec));
   GPIVOT_ASSIGN_OR_RETURN(Table pivoted_del, GPivot(agg_del, layout_->spec));
-  return ApplyPivotGroupByUpdate(view, *layout_, *agg_layout_,
+  return StagePivotGroupByUpdate(view, *layout_, *agg_layout_,
                                  Delta{std::move(pivoted_ins),
                                        std::move(pivoted_del)});
 }
 
-Status MaintenancePlan::RefreshCombinedSelect(DeltaPropagator* propagator,
-                                              MaterializedView* view) const {
+Result<MergePlan> MaintenancePlan::StageCombinedSelectRefresh(
+    DeltaPropagator* propagator, const MaterializedView& view) const {
   GPIVOT_CHECK(layout_.has_value()) << "missing layout";
   const PivotSpec& spec = layout_->spec;
   GPIVOT_ASSIGN_OR_RETURN(Delta child_delta,
@@ -493,7 +536,7 @@ Status MaintenancePlan::RefreshCombinedSelect(DeltaPropagator* propagator,
                           effective_query_->OutputSchema());
   GPIVOT_ASSIGN_OR_RETURN(CompiledExpr condition,
                           CompileExpr(select_condition_, view_schema));
-  return ApplySelectPivotUpdate(view, *layout_, condition,
+  return StageSelectPivotUpdate(view, *layout_, condition,
                                 Delta{std::move(pivoted_ins),
                                       std::move(pivoted_del)},
                                 recompute_candidates);

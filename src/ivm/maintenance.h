@@ -39,9 +39,19 @@ enum class RefreshStrategy {
 
 const char* RefreshStrategyToString(RefreshStrategy strategy);
 
+// A refresh computed but not yet applied: either the per-key MergePlan
+// (incremental strategies) or a wholesale replacement view (kFullRecompute).
+// Staging never mutates, so an epoch can stage every view, validate, and
+// only then commit — or walk away leaving no trace.
+struct StagedRefresh {
+  std::optional<MergePlan> merge;
+  std::optional<MaterializedView> rebuild;
+};
+
 // A compiled maintenance plan: the (possibly rewritten) query whose output
 // the materialized view stores, plus everything the propagate and apply
-// phases need. Compile once per view definition; Refresh per delta batch.
+// phases need. Compile once per view definition; Stage+Commit (or Refresh)
+// per delta batch.
 class MaintenancePlan {
  public:
   static Result<MaintenancePlan> Compile(PlanPtr view_query,
@@ -53,8 +63,21 @@ class MaintenancePlan {
   const PlanPtr& effective_query() const { return effective_query_; }
   RefreshStrategy strategy() const { return strategy_; }
 
-  // Propagates `deltas` (relative to `pre_catalog`) and applies the result
-  // to `view`. Does not touch the base tables themselves.
+  // Propagates `deltas` (relative to `pre_catalog`) and computes this
+  // view's final refresh without mutating `view` or the base tables.
+  // Inconsistent deltas (absent delete keys, duplicate inserts, negative
+  // counts) are detected here, before anything changes.
+  Result<StagedRefresh> Stage(const Catalog& pre_catalog,
+                              const SourceDeltas& deltas,
+                              const MaterializedView& view) const;
+
+  // Applies a staged refresh, recording every mutation in `undo` so a
+  // failure later in the same epoch can roll `view` back byte-identically.
+  static Status CommitStaged(StagedRefresh staged, MaterializedView* view,
+                             UndoLog* undo);
+
+  // Stage + commit in one step (single-view, no cross-view atomicity). On
+  // failure the view is unchanged.
   Status Refresh(const Catalog& pre_catalog, const SourceDeltas& deltas,
                  MaterializedView* view) const;
 
@@ -63,16 +86,16 @@ class MaintenancePlan {
  private:
   MaintenancePlan() = default;
 
-  Status RefreshFullRecompute(DeltaPropagator* propagator,
-                              MaterializedView* view) const;
-  Status RefreshInsertDelete(DeltaPropagator* propagator,
-                             MaterializedView* view) const;
-  Status RefreshPivotUpdate(DeltaPropagator* propagator,
-                            MaterializedView* view) const;
-  Status RefreshCombinedGroupBy(DeltaPropagator* propagator,
-                                MaterializedView* view) const;
-  Status RefreshCombinedSelect(DeltaPropagator* propagator,
-                               MaterializedView* view) const;
+  Result<MaterializedView> StageFullRecompute(
+      DeltaPropagator* propagator) const;
+  Result<MergePlan> StageInsertDeleteRefresh(
+      DeltaPropagator* propagator, const MaterializedView& view) const;
+  Result<MergePlan> StagePivotUpdateRefresh(
+      DeltaPropagator* propagator, const MaterializedView& view) const;
+  Result<MergePlan> StageCombinedGroupByRefresh(
+      DeltaPropagator* propagator, const MaterializedView& view) const;
+  Result<MergePlan> StageCombinedSelectRefresh(
+      DeltaPropagator* propagator, const MaterializedView& view) const;
 
   RefreshStrategy strategy_ = RefreshStrategy::kFullRecompute;
   PlanPtr original_query_;

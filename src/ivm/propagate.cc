@@ -8,6 +8,8 @@
 #include "exec/join.h"
 #include "rewrite/rules.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
 
 namespace gpivot::ivm {
 
@@ -15,19 +17,23 @@ DeltaPropagator::DeltaPropagator(const Catalog* pre_catalog,
                                  const SourceDeltas* deltas)
     : pre_(pre_catalog), deltas_(deltas), post_(*pre_catalog) {}
 
-const Catalog& DeltaPropagator::PostCatalog() {
+Result<const Catalog*> DeltaPropagator::PostCatalog() {
   if (!post_built_) {
+    GPIVOT_FAULT_POINT("DeltaPropagator::PostCatalog");
     // The post-state catalog shares every unchanged table with the pre
     // state (copy-on-write); only delta'd tables are cloned and patched.
     for (const auto& [name, delta] : *deltas_) {
       if (delta.empty()) continue;
+      if (!post_.HasTable(name)) {
+        return Status::NotFound(
+            StrCat("delta for unknown table '", name, "'"));
+      }
       Table* table = post_.GetMutableTable(name);
-      Status st = ApplyDeltaToTable(table, delta);
-      GPIVOT_CHECK(st.ok()) << "post-state build failed: " << st.ToString();
+      GPIVOT_RETURN_NOT_OK(ApplyDeltaToTable(table, delta));
     }
     post_built_ = true;
   }
-  return post_;
+  return &post_;
 }
 
 Result<Table> DeltaPropagator::EvaluatePre(const PlanPtr& plan) {
@@ -35,7 +41,8 @@ Result<Table> DeltaPropagator::EvaluatePre(const PlanPtr& plan) {
 }
 
 Result<Table> DeltaPropagator::EvaluatePost(const PlanPtr& plan) {
-  return Evaluate(plan, PostCatalog());
+  GPIVOT_ASSIGN_OR_RETURN(const Catalog* post, PostCatalog());
+  return Evaluate(plan, *post);
 }
 
 Result<std::shared_ptr<const Table>> DeltaPropagator::EvaluateRef(
@@ -60,7 +67,8 @@ Result<std::shared_ptr<const Table>> DeltaPropagator::EvaluatePreRef(
 
 Result<std::shared_ptr<const Table>> DeltaPropagator::EvaluatePostRef(
     const PlanPtr& plan) {
-  return EvaluateRef(plan, PostCatalog(), &post_memo_);
+  GPIVOT_ASSIGN_OR_RETURN(const Catalog* post, PostCatalog());
+  return EvaluateRef(plan, *post, &post_memo_);
 }
 
 Result<bool> DeltaPropagator::Unchanged(const PlanPtr& plan) {

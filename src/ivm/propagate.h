@@ -48,8 +48,9 @@ class DeltaPropagator {
       std::unordered_map<const PlanNode*, std::shared_ptr<const Table>>* memo);
   // Builds the post-state catalog on first use: strategies whose rules never
   // re-access the updated base (e.g. the Fig. 23 update rules under deletes)
-  // then never pay for patching large tables.
-  const Catalog& PostCatalog();
+  // then never pay for patching large tables. Fails (rather than aborting)
+  // when a delta names an unknown table or mismatches its schema.
+  Result<const Catalog*> PostCatalog();
 
   const Catalog* pre_;
   const SourceDeltas* deltas_;

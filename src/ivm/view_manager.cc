@@ -1,6 +1,9 @@
 #include "ivm/view_manager.h"
 
+#include <unordered_set>
+
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace gpivot::ivm {
@@ -38,22 +41,132 @@ Result<const MaintenancePlan*> ViewManager::GetPlan(
   return &it->second.plan;
 }
 
-Status ViewManager::ApplyUpdate(const SourceDeltas& deltas) {
-  GPIVOT_RETURN_NOT_OK(RefreshViews(deltas));
-  return AdvanceBase(deltas);
-}
-
-Status ViewManager::RefreshViews(const SourceDeltas& deltas) {
-  for (auto& [name, state] : views_) {
-    GPIVOT_RETURN_NOT_OK(state.plan.Refresh(catalog_, deltas, &state.view));
+Status ViewManager::ValidateDeltas(const SourceDeltas& deltas) const {
+  for (const auto& [table_name, delta] : deltas) {
+    Result<const Table*> table_or = catalog_.GetTable(table_name);
+    if (!table_or.ok()) {
+      return Status::NotFound(
+          StrCat("delta for unknown table '", table_name, "'"));
+    }
+    const Table& table = **table_or;
+    auto check_schema = [&](const Table& side, const char* which) -> Status {
+      if (side.empty() || side.schema() == table.schema()) return Status::OK();
+      return Status::InvalidArgument(
+          StrCat(which, " delta for table '", table_name,
+                 "' does not match its schema (", side.schema().num_columns(),
+                 " vs ", table.schema().num_columns(), " columns)"));
+    };
+    GPIVOT_RETURN_NOT_OK(check_schema(delta.deletes, "delete"));
+    GPIVOT_RETURN_NOT_OK(check_schema(delta.inserts, "insert"));
+    if (table.has_key() && !delta.inserts.empty()) {
+      GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> key_indices,
+                              table.KeyIndices());
+      std::unordered_set<Row, RowHash, RowEq> seen;
+      seen.reserve(delta.inserts.num_rows());
+      for (const Row& row : delta.inserts.rows()) {
+        Row key = ProjectRow(row, key_indices);
+        if (!seen.insert(key).second) {
+          return Status::ConstraintViolation(
+              StrCat("insert delta for table '", table_name,
+                     "' repeats key ", RowToString(key)));
+        }
+      }
+    }
   }
   return Status::OK();
 }
 
+Status ViewManager::ApplyUpdate(const SourceDeltas& deltas) {
+  GPIVOT_RETURN_NOT_OK(ValidateDeltas(deltas));
+  EpochUndo undo;
+  Status st = RefreshViewsInternal(deltas, &undo);
+  if (st.ok()) st = AdvanceBaseInternal(deltas, &undo);
+  if (!st.ok()) {
+    RollbackEpoch(&undo);
+    return st;
+  }
+  return Status::OK();
+}
+
+Status ViewManager::RefreshViews(const SourceDeltas& deltas) {
+  GPIVOT_RETURN_NOT_OK(ValidateDeltas(deltas));
+  EpochUndo undo;
+  Status st = RefreshViewsInternal(deltas, &undo);
+  if (!st.ok()) RollbackEpoch(&undo);
+  return st;
+}
+
 Status ViewManager::AdvanceBase(const SourceDeltas& deltas) {
+  GPIVOT_RETURN_NOT_OK(ValidateDeltas(deltas));
+  EpochUndo undo;
+  Status st = AdvanceBaseInternal(deltas, &undo);
+  if (!st.ok()) RollbackEpoch(&undo);
+  return st;
+}
+
+Status ViewManager::RefreshViewsInternal(const SourceDeltas& deltas,
+                                         EpochUndo* undo) {
+  // Stage phase: every view's refresh is computed against the pre-epoch
+  // catalog and validated; nothing mutates until all views staged cleanly.
+  std::vector<std::pair<ViewState*, StagedRefresh>> staged;
+  staged.reserve(views_.size());
+  for (auto& [name, state] : views_) {
+    GPIVOT_ASSIGN_OR_RETURN(StagedRefresh refresh,
+                            state.plan.Stage(catalog_, deltas, state.view));
+    staged.emplace_back(&state, std::move(refresh));
+  }
+  // Commit phase: apply each view's merge, logging every mutation so a
+  // failure here (or later in the epoch) rolls everything back.
+  for (auto& [state, refresh] : staged) {
+    GPIVOT_FAULT_POINT("ViewManager::CommitView");
+    undo->views.emplace_back(state, UndoLog());
+    GPIVOT_RETURN_NOT_OK(MaintenancePlan::CommitStaged(
+        std::move(refresh), &state->view, &undo->views.back().second));
+  }
+  return Status::OK();
+}
+
+Status ViewManager::AdvanceBaseInternal(const SourceDeltas& deltas,
+                                        EpochUndo* undo) {
   for (const auto& [table_name, delta] : deltas) {
+    GPIVOT_FAULT_POINT("ViewManager::AdvanceTable");
+    if (!catalog_.HasTable(table_name)) {
+      return Status::NotFound(
+          StrCat("delta for unknown table '", table_name, "'"));
+    }
     Table* table = catalog_.GetMutableTable(table_name);
-    GPIVOT_RETURN_NOT_OK(ApplyDeltaToTable(table, delta));
+    undo->tables.emplace_back(table_name, TableUndo{});
+    GPIVOT_RETURN_NOT_OK(
+        ApplyDeltaToTableWithUndo(table, delta, &undo->tables.back().second));
+  }
+  GPIVOT_FAULT_POINT("ViewManager::EpochEnd");
+  return Status::OK();
+}
+
+void ViewManager::RollbackEpoch(EpochUndo* undo) {
+  // Undo in reverse commit order: base tables first, then views.
+  for (auto it = undo->tables.rbegin(); it != undo->tables.rend(); ++it) {
+    RollbackTable(catalog_.GetMutableTable(it->first), &it->second);
+  }
+  undo->tables.clear();
+  for (auto it = undo->views.rbegin(); it != undo->views.rend(); ++it) {
+    it->second.Rollback(&it->first->view);
+  }
+  undo->views.clear();
+}
+
+Status ViewManager::Audit() const {
+  for (const auto& [name, state] : views_) {
+    GPIVOT_RETURN_NOT_OK(state.view.ValidateIntegrity());
+    GPIVOT_ASSIGN_OR_RETURN(Table recomputed,
+                            Evaluate(state.plan.effective_query(), catalog_));
+    if (!recomputed.BagEquals(state.view.table())) {
+      return Status::Internal(
+          StrCat("audit: view '", name,
+                 "' diverges from from-scratch recomputation (",
+                 state.view.num_rows(), " materialized rows vs ",
+                 recomputed.num_rows(), " recomputed)"));
+    }
   }
   return Status::OK();
 }

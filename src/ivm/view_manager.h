@@ -3,8 +3,11 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "algebra/plan.h"
+#include "ivm/delta.h"
 #include "ivm/maintenance.h"
 #include "util/result.h"
 
@@ -13,6 +16,14 @@ namespace gpivot::ivm {
 // Owns the base tables and a set of materialized views, keeping the views
 // consistent with the base as delta batches arrive. This is the end-to-end
 // entry point benchmarks and examples use.
+//
+// Every update batch runs as an atomic *maintenance epoch* (the in-memory
+// analogue of the DBMS transaction the paper's Oracle MERGE plans run in,
+// §7.1): the batch is validated against the catalog, every view's refresh is
+// staged without mutating, and only then are the view merges and the base
+// advance committed — with an undo log, so any mid-commit failure rolls the
+// whole manager back to its exact pre-epoch state. An epoch either commits
+// everywhere or leaves no trace.
 class ViewManager {
  public:
   explicit ViewManager(Catalog base) : catalog_(std::move(base)) {}
@@ -28,16 +39,32 @@ class ViewManager {
   Result<const MaterializedView*> GetView(const std::string& name) const;
   Result<const MaintenancePlan*> GetPlan(const std::string& name) const;
 
-  // Refreshes every registered view for `deltas` (each with its own
-  // strategy), then applies the deltas to the base tables.
+  // Runs one full epoch: refreshes every registered view for `deltas` (each
+  // with its own strategy), then applies the deltas to the base tables.
+  // On any failure — malformed deltas, a refresh error, or an injected
+  // fault — all views and base tables are left byte-identical to their
+  // pre-call state.
   Status ApplyUpdate(const SourceDeltas& deltas);
 
   // The two halves of ApplyUpdate, exposed separately so benchmarks can
   // time the view-maintenance work in isolation (the paper's refresh cost
   // excludes the base-table update itself, which every strategy pays
-  // identically). RefreshViews must run before AdvanceBase.
+  // identically). RefreshViews must run before AdvanceBase. Each half is
+  // atomic on its own: a failure rolls back whatever that half applied.
   Status RefreshViews(const SourceDeltas& deltas);
   Status AdvanceBase(const SourceDeltas& deltas);
+
+  // Validates a delta batch against the catalog without mutating anything:
+  // unknown tables (NotFound), schema/arity mismatches (InvalidArgument),
+  // and duplicate keys within a keyed table's insert delta
+  // (ConstraintViolation). Every epoch entry point calls this first.
+  Status ValidateDeltas(const SourceDeltas& deltas) const;
+
+  // Consistency auditor: verifies every materialized view equals its
+  // from-scratch recomputation (bag semantics) and that each view's key
+  // index exactly mirrors its table. Run after any epoch in tests; behind
+  // GPIVOT_BENCH_AUDIT=1 in benchmarks.
+  Status Audit() const;
 
   // Convenience for tests: evaluates `name`'s effective query from scratch
   // against the current base tables.
@@ -48,6 +75,17 @@ class ViewManager {
     MaintenancePlan plan;
     MaterializedView view;
   };
+
+  // Everything one epoch has mutated, in commit order, so a failure can
+  // restore the exact pre-epoch state (RollbackEpoch undoes in reverse).
+  struct EpochUndo {
+    std::vector<std::pair<ViewState*, UndoLog>> views;
+    std::vector<std::pair<std::string, TableUndo>> tables;
+  };
+
+  Status RefreshViewsInternal(const SourceDeltas& deltas, EpochUndo* undo);
+  Status AdvanceBaseInternal(const SourceDeltas& deltas, EpochUndo* undo);
+  void RollbackEpoch(EpochUndo* undo);
 
   Catalog catalog_;
   std::unordered_map<std::string, ViewState> views_;

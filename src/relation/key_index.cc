@@ -1,18 +1,23 @@
 #include "relation/key_index.h"
 
 #include "util/check.h"
+#include "util/string_util.h"
 
 namespace gpivot {
 
-KeyIndex::KeyIndex(const Table& table, std::vector<size_t> key_indices)
-    : key_indices_(std::move(key_indices)) {
-  map_.reserve(table.num_rows());
+Result<KeyIndex> KeyIndex::Build(const Table& table,
+                                 std::vector<size_t> key_indices) {
+  KeyIndex index(std::move(key_indices));
+  index.map_.reserve(table.num_rows());
   for (size_t i = 0; i < table.num_rows(); ++i) {
-    Row key = ProjectRow(table.rows()[i], key_indices_);
-    auto [it, inserted] = map_.emplace(std::move(key), i);
-    GPIVOT_CHECK(inserted) << "KeyIndex: duplicate key "
-                           << RowToString(it->first);
+    Row key = ProjectRow(table.rows()[i], index.key_indices_);
+    auto [it, inserted] = index.map_.emplace(std::move(key), i);
+    if (!inserted) {
+      return Status::ConstraintViolation(
+          StrCat("KeyIndex: duplicate key ", RowToString(it->first)));
+    }
   }
+  return index;
 }
 
 std::optional<size_t> KeyIndex::Lookup(

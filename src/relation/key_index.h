@@ -8,6 +8,7 @@
 
 #include "relation/row.h"
 #include "relation/table.h"
+#include "util/result.h"
 
 namespace gpivot {
 
@@ -20,8 +21,10 @@ namespace gpivot {
 class KeyIndex {
  public:
   // Builds an index over `table` using `key_indices` (positions into the
-  // table's schema). Duplicate keys abort: callers index keyed tables only.
-  KeyIndex(const Table& table, std::vector<size_t> key_indices);
+  // table's schema). A duplicate key is a ConstraintViolation: table
+  // contents come from callers, so the build must not abort on bad data.
+  static Result<KeyIndex> Build(const Table& table,
+                                std::vector<size_t> key_indices);
 
   const std::vector<size_t>& key_indices() const { return key_indices_; }
 
@@ -46,6 +49,9 @@ class KeyIndex {
   size_t size() const { return map_.size(); }
 
  private:
+  explicit KeyIndex(std::vector<size_t> key_indices)
+      : key_indices_(std::move(key_indices)) {}
+
   std::vector<size_t> key_indices_;
   std::unordered_map<Row, size_t, RowHash, RowEq> map_;
 };

@@ -1,0 +1,63 @@
+#include "util/fault_injection.h"
+
+#include "util/string_util.h"
+
+namespace gpivot {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* const kInjector = new FaultInjector();
+  return *kInjector;
+}
+
+void FaultInjector::Arm(size_t trigger) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = true;
+  trigger_ = trigger;
+  count_ = 0;
+  fired_ = false;
+  fired_site_.clear();
+  active_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::StartCounting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  trigger_ = 0;
+  count_ = 0;
+  fired_ = false;
+  fired_site_.clear();
+  active_.store(true, std::memory_order_release);
+}
+
+size_t FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.store(false, std::memory_order_release);
+  armed_ = false;
+  return count_;
+}
+
+bool FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+std::string FaultInjector::fired_site() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_site_;
+}
+
+Status FaultInjector::Poke(const char* site) {
+  if (!active_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_.load(std::memory_order_relaxed)) return Status::OK();
+  ++count_;
+  if (armed_ && !fired_ && count_ == trigger_) {
+    fired_ = true;
+    fired_site_ = site;
+    return Status::Internal(
+        StrCat("injected fault at '", site, "' (point #", count_, ")"));
+  }
+  return Status::OK();
+}
+
+}  // namespace gpivot

@@ -1,0 +1,71 @@
+#ifndef GPIVOT_UTIL_FAULT_INJECTION_H_
+#define GPIVOT_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace gpivot {
+
+// Deterministic fault injection for robustness tests. The maintenance paths
+// (propagate, staged apply, epoch commit) call Poke() at named injection
+// points; a test arms the injector to force a Status error at the N-th point
+// reached, and the epoch machinery must then roll back to the exact
+// pre-epoch state. Fault-sweep tests iterate N over every point.
+//
+// Disabled — the default, and the only state benchmarks ever see — a poke is
+// a single relaxed atomic load; the mutex is taken only while armed or
+// counting.
+class FaultInjector {
+ public:
+  // Process-wide instance; the injection-point macro below targets it.
+  static FaultInjector& Global();
+
+  // Arms the injector: the `trigger`-th Poke after this call (1-based)
+  // returns an Internal error naming its site. Fires once, then stays quiet
+  // until re-armed.
+  void Arm(size_t trigger);
+
+  // Counting mode: pokes are counted but never fire. Lets a sweep discover
+  // how many injection points a code path traverses.
+  void StartCounting();
+
+  // Disables the injector; returns the number of pokes since the last
+  // Arm/StartCounting.
+  size_t Disarm();
+
+  // True when the armed fault has fired since the last Arm.
+  bool fired() const;
+  // Site name of the fired fault; empty when none fired.
+  std::string fired_site() const;
+
+  // Called at each injection point. Returns OK unless this poke is the
+  // armed trigger.
+  Status Poke(const char* site);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> active_{false};
+  bool armed_ = false;  // false while counting
+  size_t trigger_ = 0;
+  size_t count_ = 0;
+  bool fired_ = false;
+  std::string fired_site_;
+};
+
+}  // namespace gpivot
+
+// Injection point: propagates the injected error to the caller. The site
+// name shows up in the returned Status so sweep failures are attributable.
+#define GPIVOT_FAULT_POINT(site) \
+  GPIVOT_RETURN_NOT_OK(::gpivot::FaultInjector::Global().Poke(site))
+
+#endif  // GPIVOT_UTIL_FAULT_INJECTION_H_

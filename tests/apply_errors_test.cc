@@ -1,9 +1,16 @@
 // Error-path tests for the apply-phase rules: corrupted or inconsistent
-// deltas must be detected, not silently applied.
+// deltas must be detected, not silently applied. Also home of the epoch
+// robustness suite: fault-injection sweeps asserting that a failure at any
+// point of an update epoch rolls the manager back byte-identically, and
+// that malformed delta batches are rejected before any mutation.
 #include <gtest/gtest.h>
 
 #include "ivm/apply.h"
+#include "ivm/view_manager.h"
 #include "test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/views.h"
+#include "util/fault_injection.h"
 
 namespace gpivot {
 namespace {
@@ -143,6 +150,225 @@ TEST(ApplyPivotUpdateTest, InsertOverwritesPresentGroups) {
   const Row& row = f.view.RowAt(position.value());
   EXPECT_EQ(row[1], I(999));  // overwritten, not summed (non-agg semantics)
   EXPECT_EQ(row[3], I(70));   // absent delta group untouched
+}
+
+// ---------------------------------------------------------------------------
+// Epoch robustness: fault sweeps and pre-mutation validation.
+// ---------------------------------------------------------------------------
+
+using ivm::RefreshStrategy;
+using ivm::SourceDeltas;
+using ivm::ViewManager;
+
+tpch::Config SmallConfig() {
+  tpch::Config config;
+  config.scale_factor = 0.001;
+  config.seed = 11;
+  return config;
+}
+
+// Builds a manager over the paper's three experiment views, each on a
+// different incremental strategy, so one epoch exercises the plain-update,
+// combined-select, and combined-group-by commit paths together.
+ViewManager MakeThreeViewManager(const tpch::Config& config) {
+  Catalog catalog = tpch::MakeCatalog(tpch::Generate(config)).value();
+  PlanPtr v1 = tpch::View1(catalog, config.max_line_numbers).value();
+  PlanPtr v2 = tpch::View2(catalog, config.max_line_numbers, 30000.0).value();
+  PlanPtr v3 =
+      tpch::View3(catalog, config.first_year, config.num_years).value();
+  ViewManager manager(std::move(catalog));
+  EXPECT_TRUE(manager.DefineView("v1", v1, RefreshStrategy::kUpdate).ok());
+  EXPECT_TRUE(
+      manager.DefineView("v2", v2, RefreshStrategy::kCombinedSelect).ok());
+  EXPECT_TRUE(
+      manager.DefineView("v3", v3, RefreshStrategy::kCombinedGroupBy).ok());
+  return manager;
+}
+
+// Exact (position-sensitive) snapshot of every base table and view: rollback
+// must restore not just the same bag of rows but the same physical order.
+struct ManagerSnapshot {
+  std::vector<std::pair<std::string, std::vector<Row>>> tables;
+  std::vector<std::pair<std::string, std::vector<Row>>> views;
+};
+
+ManagerSnapshot Snapshot(const ViewManager& manager) {
+  ManagerSnapshot snap;
+  for (const std::string& name : manager.catalog().TableNames()) {
+    snap.tables.emplace_back(name,
+                             manager.catalog().GetTable(name).value()->rows());
+  }
+  for (const char* name : {"v1", "v2", "v3"}) {
+    auto view = manager.GetView(name);
+    if (view.ok()) snap.views.emplace_back(name, (*view)->table().rows());
+  }
+  return snap;
+}
+
+void ExpectIdentical(const ManagerSnapshot& before,
+                     const ViewManager& manager) {
+  ManagerSnapshot after = Snapshot(manager);
+  ASSERT_EQ(before.tables.size(), after.tables.size());
+  for (size_t i = 0; i < before.tables.size(); ++i) {
+    EXPECT_EQ(before.tables[i].first, after.tables[i].first);
+    EXPECT_EQ(before.tables[i].second, after.tables[i].second)
+        << "base table '" << before.tables[i].first
+        << "' not byte-identical after rollback";
+  }
+  ASSERT_EQ(before.views.size(), after.views.size());
+  for (size_t i = 0; i < before.views.size(); ++i) {
+    EXPECT_EQ(before.views[i].second, after.views[i].second)
+        << "view '" << before.views[i].first
+        << "' not byte-identical after rollback";
+  }
+}
+
+enum class EpochWorkload { kDelete, kInsertUpdates, kInsertNew };
+
+SourceDeltas MakeWorkload(const ViewManager& manager,
+                          const tpch::Config& config, EpochWorkload kind) {
+  switch (kind) {
+    case EpochWorkload::kDelete:
+      return tpch::MakeLineitemDeletes(manager.catalog(), 0.05, 42).value();
+    case EpochWorkload::kInsertUpdates:
+      return tpch::MakeLineitemInsertsUpdatesOnly(manager.catalog(), config,
+                                                  0.05, 42)
+          .value();
+    case EpochWorkload::kInsertNew:
+      return tpch::MakeLineitemInsertsNewKeys(manager.catalog(), config, 0.05,
+                                              42)
+          .value();
+  }
+  return {};
+}
+
+class EpochFaultSweepTest : public ::testing::TestWithParam<EpochWorkload> {};
+
+// The sweep: arm the injector to fail at point n = 1, 2, ... of a full
+// three-view ApplyUpdate epoch. Every injected failure must surface as the
+// injected Status and leave the manager byte-identical to its pre-epoch
+// state (verified directly and by the consistency auditor). The sweep
+// self-terminates when n exceeds the number of points the epoch traverses —
+// i.e. when ApplyUpdate succeeds.
+TEST_P(EpochFaultSweepTest, AnyFailureRollsBackExactly) {
+  tpch::Config config = SmallConfig();
+  ViewManager manager = MakeThreeViewManager(config);
+  SourceDeltas deltas = MakeWorkload(manager, config, GetParam());
+  ManagerSnapshot before = Snapshot(manager);
+
+  FaultInjector& injector = FaultInjector::Global();
+  size_t points_hit = 0;
+  for (size_t n = 1;; ++n) {
+    injector.Arm(n);
+    Status st = manager.ApplyUpdate(deltas);
+    bool fired = injector.fired();
+    std::string site = injector.fired_site();
+    injector.Disarm();
+    if (st.ok()) {
+      // n exceeded the number of injection points: the epoch committed.
+      EXPECT_FALSE(fired);
+      break;
+    }
+    ASSERT_TRUE(fired) << "non-injected failure at n=" << n << ": "
+                       << st.ToString();
+    EXPECT_TRUE(st.IsInternal()) << st.ToString();
+    EXPECT_NE(st.message().find("injected fault"), std::string::npos)
+        << st.ToString();
+    points_hit = n;
+    ExpectIdentical(before, manager);
+    Status audit = manager.Audit();
+    ASSERT_TRUE(audit.ok()) << "audit failed after rollback at point #" << n
+                            << " (" << site << "): " << audit.ToString();
+  }
+  // One stage + three view commits + one base advance + epoch end, at least.
+  EXPECT_GE(points_hit, 6u) << "fault sweep covered suspiciously few points";
+  // The final (uninjected) iteration committed: views must now be consistent
+  // with the advanced base, and the state must have actually changed.
+  ASSERT_OK(manager.Audit());
+  EXPECT_NE(Snapshot(manager).tables, before.tables);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, EpochFaultSweepTest,
+                         ::testing::Values(EpochWorkload::kDelete,
+                                           EpochWorkload::kInsertUpdates,
+                                           EpochWorkload::kInsertNew),
+                         [](const ::testing::TestParamInfo<EpochWorkload>& i) {
+                           switch (i.param) {
+                             case EpochWorkload::kDelete:
+                               return "Delete";
+                             case EpochWorkload::kInsertUpdates:
+                               return "InsertUpdates";
+                             case EpochWorkload::kInsertNew:
+                               return "InsertNew";
+                           }
+                           return "?";
+                         });
+
+class EpochValidationTest : public ::testing::Test {
+ protected:
+  EpochValidationTest()
+      : config_(SmallConfig()), manager_(MakeThreeViewManager(config_)) {}
+
+  tpch::Config config_;
+  ViewManager manager_;
+};
+
+TEST_F(EpochValidationTest, UnknownTableRejectedBeforeMutation) {
+  ManagerSnapshot before = Snapshot(manager_);
+  SourceDeltas deltas;
+  Table junk = MakeTable({{"x", DataType::kInt64}}, {{I(1)}});
+  deltas["no_such_table"] = ivm::Delta{junk, Table(junk.schema())};
+  Status st = manager_.ApplyUpdate(deltas);
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+  EXPECT_NE(st.message().find("no_such_table"), std::string::npos);
+  ExpectIdentical(before, manager_);
+}
+
+TEST_F(EpochValidationTest, ArityMismatchRejectedBeforeMutation) {
+  ManagerSnapshot before = Snapshot(manager_);
+  SourceDeltas deltas;
+  Table narrow = MakeTable({{"x", DataType::kInt64}}, {{I(1)}});
+  const Table& lineitem = *manager_.catalog().GetTable("lineitem").value();
+  deltas["lineitem"] = ivm::Delta{narrow, Table(lineitem.schema())};
+  Status st = manager_.ApplyUpdate(deltas);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  ExpectIdentical(before, manager_);
+}
+
+TEST_F(EpochValidationTest, DuplicateInsertKeysRejectedBeforeMutation) {
+  ManagerSnapshot before = Snapshot(manager_);
+  const Table& lineitem = *manager_.catalog().GetTable("lineitem").value();
+  Table inserts(lineitem.schema());
+  // The same (orderkey, linenumber) twice within one insert batch.
+  inserts.AddRow(lineitem.rows()[0]);
+  inserts.AddRow(lineitem.rows()[0]);
+  SourceDeltas deltas;
+  deltas["lineitem"] = ivm::Delta{std::move(inserts),
+                                  Table(lineitem.schema())};
+  Status st = manager_.ApplyUpdate(deltas);
+  EXPECT_TRUE(st.IsConstraintViolation()) << st.ToString();
+  EXPECT_NE(st.message().find("repeats key"), std::string::npos);
+  ExpectIdentical(before, manager_);
+}
+
+TEST_F(EpochValidationTest, AdvanceBaseUnknownTableIsNotFound) {
+  SourceDeltas deltas;
+  Table junk = MakeTable({{"x", DataType::kInt64}}, {{I(1)}});
+  deltas["ghost"] = ivm::Delta{junk, Table(junk.schema())};
+  EXPECT_TRUE(manager_.AdvanceBase(deltas).IsNotFound());
+}
+
+TEST_F(EpochValidationTest, AuditDetectsStaleViews) {
+  ASSERT_OK(manager_.Audit());
+  // Mutate the base behind the manager's back: views are now stale relative
+  // to a from-scratch recomputation, which the auditor must flag.
+  Table* lineitem = manager_.mutable_catalog()->GetMutableTable("lineitem");
+  std::vector<Row>& rows = lineitem->mutable_rows();
+  rows.erase(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(
+                                              rows.size() / 2));
+  Status st = manager_.Audit();
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+  EXPECT_NE(st.message().find("diverges"), std::string::npos);
 }
 
 }  // namespace

@@ -306,7 +306,8 @@ TEST(MaterializedViewTest, InsertUpdateDelete) {
   ASSERT_OK(t.SetKey({"k"}));
   ASSERT_OK_AND_ASSIGN(MaterializedView view,
                        MaterializedView::Create(std::move(t)));
-  view.Insert({I(3), I(30)});
+  ASSERT_OK(view.Insert({I(3), I(30)}));
+  EXPECT_TRUE(view.Insert({I(3), I(31)}).IsConstraintViolation());
   EXPECT_EQ(view.num_rows(), 3u);
   auto pos = view.Lookup({I(2), N()}, view.key_indices());
   ASSERT_TRUE(pos.has_value());

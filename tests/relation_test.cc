@@ -153,7 +153,7 @@ TEST(TableTest, SortedIsDeterministic) {
 TEST(KeyIndexTest, LookupInsertEraseReposition) {
   Table t = MakeTable({{"k", DataType::kInt64}, {"v", DataType::kInt64}},
                       {{I(1), I(10)}, {I(2), I(20)}});
-  KeyIndex index(t, {0});
+  ASSERT_OK_AND_ASSIGN(KeyIndex index, KeyIndex::Build(t, {0}));
   EXPECT_EQ(index.LookupKey({I(1)}), 0u);
   EXPECT_EQ(index.LookupKey({I(2)}), 1u);
   EXPECT_FALSE(index.LookupKey({I(3)}).has_value());
@@ -166,9 +166,11 @@ TEST(KeyIndexTest, LookupInsertEraseReposition) {
   EXPECT_EQ(index.LookupKey({I(3)}), 0u);
 }
 
-TEST(KeyIndexTest, DuplicateKeysAbort) {
+TEST(KeyIndexTest, DuplicateKeysRejected) {
   Table t = MakeTable({{"k", DataType::kInt64}}, {{I(1)}, {I(1)}});
-  EXPECT_DEATH(KeyIndex(t, {0}), "duplicate key");
+  Result<KeyIndex> index = KeyIndex::Build(t, {0});
+  EXPECT_TRUE(index.status().IsConstraintViolation());
+  EXPECT_NE(index.status().message().find("duplicate key"), std::string::npos);
 }
 
 TEST(CatalogTest, CopyOnWriteIsolation) {
