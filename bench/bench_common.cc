@@ -1,7 +1,13 @@
 #include "bench_common.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "ivm/view_manager.h"
 #include "tpch/views.h"
@@ -18,6 +24,90 @@ double EnvDouble(const char* name, double fallback) {
   const char* value = std::getenv(name);
   return value == nullptr ? fallback : std::atof(value);
 }
+
+// One (strategy, fraction) measurement inside a figure sweep.
+struct BenchRecord {
+  std::string strategy;
+  double fraction = 0;
+  double wall_ms = 0;
+  size_t view_rows = 0;
+  size_t delta_rows = 0;
+};
+
+// Collects every record produced by this process and writes one
+// BENCH_<figure>.json per figure at exit. The registry (not each
+// benchmark run) owns the files so a --benchmark_filter'ed run still
+// produces a well-formed document for the figures it touched.
+class BenchJsonRegistry {
+ public:
+  static BenchJsonRegistry& Get() {
+    static BenchJsonRegistry* const kRegistry = [] {
+      auto* registry = new BenchJsonRegistry();
+      std::atexit([] { Get().WriteAll(); });
+      return registry;
+    }();
+    return *kRegistry;
+  }
+
+  void Add(const std::string& figure, BenchRecord record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    by_figure_[figure].push_back(std::move(record));
+  }
+
+ private:
+  static std::string Sanitize(const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+      if (c == '/' || c == ' ' || c == ':') c = '_';
+    }
+    return out;
+  }
+
+  static std::string FormatDouble(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.4f", value);
+    return buffer;
+  }
+
+  void WriteAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const char* dir_env = std::getenv("GPIVOT_BENCH_JSON_DIR");
+    std::string dir = dir_env == nullptr ? "." : dir_env;
+    const BenchContext& context = SharedContext();
+    ExecContext exec = BenchExecContext();
+    for (const auto& [figure, records] : by_figure_) {
+      std::string path = StrCat(dir, "/BENCH_", Sanitize(figure), ".json");
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+        continue;
+      }
+      out << "{\n";
+      out << "  \"figure\": \"" << figure << "\",\n";
+      out << "  \"scale_factor\": " << FormatDouble(context.config.scale_factor)
+          << ",\n";
+      out << "  \"seed\": " << context.config.seed << ",\n";
+      out << "  \"num_threads\": " << exec.num_threads << ",\n";
+      out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+          << ",\n";
+      out << "  \"results\": [\n";
+      for (size_t i = 0; i < records.size(); ++i) {
+        const BenchRecord& r = records[i];
+        out << "    {\"strategy\": \"" << r.strategy << "\", "
+            << "\"delta_fraction\": " << FormatDouble(r.fraction) << ", "
+            << "\"wall_ms\": " << FormatDouble(r.wall_ms) << ", "
+            << "\"view_rows\": " << r.view_rows << ", "
+            << "\"delta_rows\": " << r.delta_rows << "}"
+            << (i + 1 < records.size() ? "," : "") << "\n";
+      }
+      out << "  ]\n";
+      out << "}\n";
+    }
+  }
+
+  std::mutex mu_;
+  std::map<std::string, std::vector<BenchRecord>> by_figure_;
+};
 
 Result<PlanPtr> BuildView(ViewId view, const Catalog& catalog,
                           const tpch::Config& config) {
@@ -52,7 +142,7 @@ Result<ivm::SourceDeltas> MakeWorkload(const Catalog& catalog,
   return Status::Internal("unknown workload");
 }
 
-void RunRefresh(benchmark::State& state, ViewId view,
+void RunRefresh(benchmark::State& state, const char* figure_name, ViewId view,
                 ivm::RefreshStrategy strategy, WorkloadKind kind,
                 double fraction) {
   const BenchContext& context = SharedContext();
@@ -60,6 +150,7 @@ void RunRefresh(benchmark::State& state, ViewId view,
   const bool audit = std::getenv("GPIVOT_BENCH_AUDIT") != nullptr;
   size_t view_rows = 0;
   size_t delta_rows = 0;
+  double wall_ms = 0;
   for (auto _ : state) {
     state.PauseTiming();
     tpch::Data copy = context.data;  // fresh base tables per iteration
@@ -68,6 +159,7 @@ void RunRefresh(benchmark::State& state, ViewId view,
     auto query = BuildView(view, *catalog, context.config);
     GPIVOT_CHECK(query.ok()) << query.status().ToString();
     ivm::ViewManager manager(std::move(*catalog));
+    manager.set_exec_context(BenchExecContext());
     Status defined = manager.DefineView("v", *query, strategy);
     GPIVOT_CHECK(defined.ok()) << defined.ToString();
     auto deltas = MakeWorkload(manager.catalog(), context.config, kind,
@@ -80,9 +172,13 @@ void RunRefresh(benchmark::State& state, ViewId view,
 
     // Timed: the propagate + apply phases only. The base-table advance is
     // identical across strategies and excluded, as in the paper.
+    auto wall_begin = std::chrono::steady_clock::now();
     Status refreshed = manager.RefreshViews(*deltas);
+    auto wall_end = std::chrono::steady_clock::now();
 
     state.PauseTiming();
+    wall_ms = std::chrono::duration<double, std::milli>(wall_end - wall_begin)
+                  .count();
     GPIVOT_CHECK(refreshed.ok()) << refreshed.ToString();
     Status advanced = manager.AdvanceBase(*deltas);
     GPIVOT_CHECK(advanced.ok()) << advanced.ToString();
@@ -105,6 +201,10 @@ void RunRefresh(benchmark::State& state, ViewId view,
   }
   state.counters["view_rows"] = static_cast<double>(view_rows);
   state.counters["delta_rows"] = static_cast<double>(delta_rows);
+  BenchJsonRegistry::Get().Add(
+      figure_name,
+      BenchRecord{ivm::RefreshStrategyToString(strategy), fraction, wall_ms,
+                  view_rows, delta_rows});
 }
 
 }  // namespace
@@ -119,6 +219,16 @@ const BenchContext& SharedContext() {
     return context;
   }();
   return *kContext;
+}
+
+ExecContext BenchExecContext() {
+  ExecContext ctx;
+  const char* value = std::getenv("GPIVOT_BENCH_THREADS");
+  if (value != nullptr) {
+    long parsed = std::atol(value);
+    if (parsed > 0) ctx.num_threads = static_cast<size_t>(parsed);
+  }
+  return ctx;
 }
 
 const std::vector<double>& Fractions() {
@@ -136,8 +246,9 @@ void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
                  "/pct:", static_cast<int>(fraction * 100));
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [view, strategy, kind, fraction](benchmark::State& state) {
-            RunRefresh(state, view, strategy, kind, fraction);
+          [figure_name, view, strategy, kind, fraction](
+              benchmark::State& state) {
+            RunRefresh(state, figure_name, view, strategy, kind, fraction);
           })
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);

@@ -8,6 +8,7 @@
 #include "algebra/plan.h"
 #include "ivm/maintenance.h"
 #include "tpch/dbgen.h"
+#include "util/thread_pool.h"
 
 namespace gpivot::bench {
 
@@ -31,6 +32,10 @@ struct BenchContext {
 };
 const BenchContext& SharedContext();
 
+// Maintenance-executor concurrency for every timed epoch, from
+// GPIVOT_BENCH_THREADS (default 1 = the sequential baseline).
+ExecContext BenchExecContext();
+
 // Registers one google-benchmark per (strategy, fraction): each run builds
 // a fresh view under `strategy`, generates the workload delta at that
 // fraction of lineitem, and times ViewManager::ApplyUpdate (propagate +
@@ -39,6 +44,13 @@ const BenchContext& SharedContext();
 // GPIVOT_BENCH_AUDIT=1 runs the full consistency auditor
 // (ViewManager::Audit — integrity check plus recompute comparison) after
 // each epoch, also outside the timed region.
+//
+// Besides the human-readable google-benchmark output, every run appends to
+// a machine-readable BENCH_<figure>.json (written at process exit into
+// GPIVOT_BENCH_JSON_DIR, default the working directory): one record per
+// (strategy, fraction) with the wall-clock refresh time and rows touched,
+// so the perf trajectory is tracked across PRs instead of scraped from
+// stdout.
 void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
                     const std::vector<ivm::RefreshStrategy>& strategies);
 

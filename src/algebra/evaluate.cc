@@ -8,7 +8,8 @@
 
 namespace gpivot {
 
-Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog) {
+Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog,
+                       const ExecContext& ctx) {
   GPIVOT_CHECK(plan != nullptr) << "Evaluate on null plan";
   switch (plan->kind()) {
     case PlanKind::kScan: {
@@ -19,7 +20,7 @@ Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog) {
     }
     case PlanKind::kSelect: {
       const auto* node = static_cast<const SelectNode*>(plan.get());
-      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
       GPIVOT_ASSIGN_OR_RETURN(Table result,
                               exec::Select(child, node->predicate()));
       GPIVOT_RETURN_NOT_OK(result.SetKey(child.key()));
@@ -27,7 +28,7 @@ Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog) {
     }
     case PlanKind::kProject: {
       const auto* node = static_cast<const ProjectNode*>(plan.get());
-      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
       GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> kept,
                               node->KeptColumns());
       GPIVOT_ASSIGN_OR_RETURN(Table result, exec::Project(child, kept));
@@ -38,7 +39,7 @@ Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog) {
     }
     case PlanKind::kMap: {
       const auto* node = static_cast<const MapNode*>(plan.get());
-      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
       GPIVOT_ASSIGN_OR_RETURN(Table result,
                               exec::ProjectExprs(child, node->outputs()));
       GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key,
@@ -48,14 +49,14 @@ Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog) {
     }
     case PlanKind::kJoin: {
       const auto* node = static_cast<const JoinNode*>(plan.get());
-      GPIVOT_ASSIGN_OR_RETURN(Table left, Evaluate(node->left(), catalog));
-      GPIVOT_ASSIGN_OR_RETURN(Table right, Evaluate(node->right(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(Table left, Evaluate(node->left(), catalog, ctx));
+      GPIVOT_ASSIGN_OR_RETURN(Table right, Evaluate(node->right(), catalog, ctx));
       exec::JoinSpec spec;
       spec.left_keys = node->left_keys();
       spec.right_keys = node->right_keys();
       spec.type = exec::JoinType::kInner;
       spec.residual = node->residual();
-      GPIVOT_ASSIGN_OR_RETURN(Table result, exec::HashJoin(left, right, spec));
+      GPIVOT_ASSIGN_OR_RETURN(Table result, exec::HashJoin(left, right, spec, ctx));
       GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key,
                               node->OutputKey());
       GPIVOT_RETURN_NOT_OK(result.SetKey(key));
@@ -63,17 +64,18 @@ Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog) {
     }
     case PlanKind::kGroupBy: {
       const auto* node = static_cast<const GroupByNode*>(plan.get());
-      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
-      return exec::GroupBy(child, node->group_columns(), node->aggregates());
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
+      return exec::GroupBy(child, node->group_columns(), node->aggregates(),
+                            ctx);
     }
     case PlanKind::kGPivot: {
       const auto* node = static_cast<const GPivotNode*>(plan.get());
-      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
       return GPivot(child, node->spec());
     }
     case PlanKind::kGUnpivot: {
       const auto* node = static_cast<const GUnpivotNode*>(plan.get());
-      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog));
+      GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
       GPIVOT_ASSIGN_OR_RETURN(Table result, GUnpivot(child, node->spec()));
       GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key,
                               node->OutputKey());

@@ -295,7 +295,10 @@ PlanPtr MakeGUnpivot(PlanPtr child, UnpivotSpec spec);
 std::string PlanToString(const PlanPtr& plan);
 
 // Evaluates `plan` against current catalog contents (full computation).
-Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog);
+// ctx parallelizes the join and group-by operators; output is byte-identical
+// for every thread count.
+Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog,
+                       const ExecContext& ctx = {});
 
 }  // namespace gpivot
 

@@ -1,10 +1,12 @@
 #include "core/parallel.h"
 
+#include <optional>
 #include <unordered_map>
 
 #include "core/gpivot.h"
 #include "util/check.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace gpivot {
 
@@ -14,6 +16,7 @@ std::vector<Table> PartitionRows(const Table& input, size_t num_partitions) {
   for (Table& p : partitions) {
     Status st = p.SetKey(input.key());
     GPIVOT_CHECK(st.ok()) << st.ToString();
+    p.mutable_rows().reserve(input.num_rows() / num_partitions + 1);
   }
   for (size_t i = 0; i < input.num_rows(); ++i) {
     partitions[i % num_partitions].AddRow(input.rows()[i]);
@@ -28,8 +31,12 @@ Result<Table> MergePivotedPartials(const std::vector<Table>& partials,
   const size_t num_cells = spec.num_combos() * num_measures;
   const size_t num_key = output_schema.num_columns() - num_cells;
 
+  size_t max_keys = 0;
+  for (const Table& partial : partials) max_keys += partial.num_rows();
   Table result(output_schema);
+  result.mutable_rows().reserve(max_keys);
   std::unordered_map<Row, size_t, RowHash, RowEq> by_key;
+  by_key.reserve(max_keys);
   for (const Table& partial : partials) {
     if (partial.schema() != output_schema) {
       return Status::InvalidArgument(
@@ -73,14 +80,21 @@ Result<Table> MergePivotedPartials(const std::vector<Table>& partials,
 }
 
 Result<Table> GPivotParallel(const Table& input, const PivotSpec& spec,
-                             size_t num_partitions) {
+                             size_t num_partitions, const ExecContext& ctx) {
   GPIVOT_RETURN_NOT_OK(spec.Validate(input.schema()));
   GPIVOT_ASSIGN_OR_RETURN(Schema output_schema,
                           spec.OutputSchema(input.schema()));
+  std::vector<Table> partitions = PartitionRows(input, num_partitions);
+  // Local pivots are independent; run them on the pool. Result<Table> has
+  // no default state, so slots are optionals filled exactly once each.
+  std::vector<std::optional<Result<Table>>> slots(num_partitions);
+  ParallelFor(ctx, num_partitions,
+              [&](size_t p) { slots[p].emplace(GPivot(partitions[p], spec)); });
   std::vector<Table> partials;
   partials.reserve(num_partitions);
-  for (const Table& partition : PartitionRows(input, num_partitions)) {
-    GPIVOT_ASSIGN_OR_RETURN(Table partial, GPivot(partition, spec));
+  for (std::optional<Result<Table>>& slot : slots) {
+    // Surface the first failure in partition order (deterministic pick).
+    GPIVOT_ASSIGN_OR_RETURN(Table partial, std::move(*slot));
     partials.push_back(std::move(partial));
   }
   GPIVOT_ASSIGN_OR_RETURN(Table merged,

@@ -7,6 +7,7 @@
 #include "core/pivot_spec.h"
 #include "relation/table.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace gpivot {
 
@@ -31,10 +32,13 @@ Result<Table> MergePivotedPartials(const std::vector<Table>& partials,
                                    const Schema& output_schema);
 
 // GPIVOT via the split: partition → pivot locally → merge globally.
-// Equivalent to GPivot(input, spec); partitions are processed sequentially
-// here (this library models the algebra, not a scheduler).
+// Equivalent to GPivot(input, spec) for every ctx: the per-partition pivots
+// run on up to ctx.num_threads pool workers (sequentially by default), and
+// the merge consumes the partials in partition order, so the result is
+// byte-identical regardless of thread count.
 Result<Table> GPivotParallel(const Table& input, const PivotSpec& spec,
-                             size_t num_partitions);
+                             size_t num_partitions,
+                             const ExecContext& ctx = {});
 
 }  // namespace gpivot
 

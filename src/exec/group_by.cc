@@ -1,15 +1,18 @@
 #include "exec/group_by.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "util/check.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace gpivot::exec {
 
 Result<Table> GroupBy(const Table& input,
                       const std::vector<std::string>& group_columns,
-                      const std::vector<AggSpec>& aggregates) {
+                      const std::vector<AggSpec>& aggregates,
+                      const ExecContext& ctx) {
   GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> group_idx,
                           input.schema().ColumnIndices(group_columns));
 
@@ -36,34 +39,89 @@ Result<Table> GroupBy(const Table& input,
 
   struct GroupState {
     std::vector<Accumulator> accumulators;
+    size_t first_row = 0;  // global index of the group's first input row
   };
-  std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
-  // Preserve first-appearance order for deterministic output.
-  std::vector<const Row*> order;
+  struct Partition {
+    std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
+    // Group keys in this partition's first-appearance order (map nodes are
+    // stable, so the pointers survive rehashing).
+    std::vector<const Row*> order;
+  };
 
-  for (const Row& row : input.rows()) {
-    Row key = ProjectRow(row, group_idx);
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      GroupState state;
-      state.accumulators.reserve(aggregates.size());
-      for (const AggSpec& spec : aggregates) {
-        state.accumulators.emplace_back(spec.func);
+  const size_t num_rows = input.num_rows();
+  const size_t num_parts = ctx.ShouldParallelize(num_rows)
+                               ? std::min(ctx.num_threads, num_rows)
+                               : 1;
+
+  // With several partitions, precompute each row's group key and its hash
+  // once (in row chunks) so the per-partition scans below only pay the
+  // ownership test for rows they don't own.
+  std::vector<Row> keys;
+  std::vector<size_t> hashes;
+  if (num_parts > 1) {
+    keys.resize(num_rows);
+    hashes.resize(num_rows);
+    ParallelForChunks(ctx, num_rows,
+                      [&](size_t /*chunk*/, size_t begin, size_t end) {
+                        RowHash hasher;
+                        for (size_t r = begin; r < end; ++r) {
+                          keys[r] = ProjectRow(input.rows()[r], group_idx);
+                          hashes[r] = hasher(keys[r]);
+                        }
+                      });
+  }
+
+  std::vector<Partition> partitions(num_parts);
+  ParallelFor(ExecContext{num_parts, 0}, num_parts, [&](size_t p) {
+    Partition& part = partitions[p];
+    part.groups.reserve(num_rows / num_parts + 1);
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (num_parts > 1 && hashes[r] % num_parts != p) continue;
+      Row key = num_parts > 1 ? std::move(keys[r])
+                              : ProjectRow(input.rows()[r], group_idx);
+      auto it = part.groups.find(key);
+      if (it == part.groups.end()) {
+        GroupState state;
+        state.first_row = r;
+        state.accumulators.reserve(aggregates.size());
+        for (const AggSpec& spec : aggregates) {
+          state.accumulators.emplace_back(spec.func);
+        }
+        it = part.groups.emplace(std::move(key), std::move(state)).first;
+        part.order.push_back(&it->first);
       }
-      it = groups.emplace(std::move(key), std::move(state)).first;
-      order.push_back(&it->first);
+      for (size_t a = 0; a < aggregates.size(); ++a) {
+        const auto& input_idx = agg_input_idx[a];
+        it->second.accumulators[a].Add(input_idx.has_value()
+                                           ? input.rows()[r][*input_idx]
+                                           : Value::Int(1));
+      }
     }
-    for (size_t a = 0; a < aggregates.size(); ++a) {
-      const auto& input_idx = agg_input_idx[a];
-      it->second.accumulators[a].Add(
-          input_idx.has_value() ? row[*input_idx] : Value::Int(1));
+  });
+
+  // Emit groups in global first-appearance order. Each partition's order
+  // vector is already sorted by first_row, so a merge by first_row across
+  // partitions reproduces the sequential output exactly.
+  std::vector<std::pair<size_t, const Row*>> merged;
+  size_t total_groups = 0;
+  for (const Partition& part : partitions) total_groups += part.order.size();
+  merged.reserve(total_groups);
+  for (const Partition& part : partitions) {
+    for (const Row* key : part.order) {
+      merged.emplace_back(part.groups.at(*key).first_row, key);
     }
+  }
+  if (num_parts > 1) {
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }
 
   Table result{Schema(std::move(out_columns))};
-  result.mutable_rows().reserve(groups.size());
-  for (const Row* key : order) {
-    const GroupState& state = groups.at(*key);
+  result.mutable_rows().reserve(total_groups);
+  for (const auto& [first_row, key] : merged) {
+    const GroupState& state =
+        partitions[num_parts > 1 ? hashes[first_row] % num_parts : 0]
+            .groups.at(*key);
     Row out = *key;
     for (const Accumulator& acc : state.accumulators) {
       out.push_back(acc.Finish());

@@ -7,6 +7,7 @@
 #include "expr/aggregate.h"
 #include "relation/table.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace gpivot::exec {
 
@@ -15,9 +16,17 @@ namespace gpivot::exec {
 // one column per aggregate. Aggregates disregard ⊥ inputs and yield ⊥ when
 // a group has no non-⊥ input (paper's convention, Eq. 8). NULL group values
 // group together.
+//
+// With ctx.num_threads > 1 the groups are hash-partitioned BY KEY across
+// the threads: every thread scans all rows but accumulates only its own
+// groups, so each accumulator still sees its group's inputs in global row
+// order — floating-point sums stay bit-identical to the sequential run —
+// and the output (groups in first-appearance order) is byte-identical for
+// every thread count.
 Result<Table> GroupBy(const Table& input,
                       const std::vector<std::string>& group_columns,
-                      const std::vector<AggSpec>& aggregates);
+                      const std::vector<AggSpec>& aggregates,
+                      const ExecContext& ctx = {});
 
 }  // namespace gpivot::exec
 

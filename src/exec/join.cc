@@ -1,10 +1,12 @@
 #include "exec/join.h"
 
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "util/check.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace gpivot::exec {
 
@@ -35,10 +37,23 @@ bool KeyHasNull(const Row& key) {
   return false;
 }
 
+// Moves per-chunk probe outputs into `result` in chunk order; since chunks
+// cover the probe rows contiguously, this reproduces sequential row order.
+Table ConcatChunks(Schema schema, std::vector<std::vector<Row>> chunk_rows) {
+  size_t total = 0;
+  for (const std::vector<Row>& rows : chunk_rows) total += rows.size();
+  Table result(std::move(schema));
+  result.mutable_rows().reserve(total);
+  for (std::vector<Row>& rows : chunk_rows) {
+    for (Row& row : rows) result.AddRow(std::move(row));
+  }
+  return result;
+}
+
 }  // namespace
 
 Result<Table> HashJoin(const Table& left, const Table& right,
-                       const JoinSpec& spec) {
+                       const JoinSpec& spec, const ExecContext& ctx) {
   if (spec.left_keys.size() != spec.right_keys.size()) {
     return Status::InvalidArgument("HashJoin: key lists differ in length");
   }
@@ -100,23 +115,28 @@ Result<Table> HashJoin(const Table& left, const Table& right,
       if (KeyHasNull(key)) continue;
       build[std::move(key)].push_back(i);
     }
-    Table result(output_schema);
-    Row key(right_key_idx.size());
-    for (const Row& rrow : right.rows()) {
-      // Reuse one scratch key row across probes to avoid per-row allocs.
-      for (size_t i = 0; i < right_key_idx.size(); ++i) {
-        key[i] = rrow[right_key_idx[i]];
-      }
-      if (KeyHasNull(key)) continue;
-      auto it = build.find(key);
-      if (it == build.end()) continue;
-      for (size_t li : it->second) {
-        Row out = combined_row_of(left.rows()[li], rrow);
-        if (residual && !ValueIsTrue(residual(out))) continue;
-        result.AddRow(std::move(out));
-      }
-    }
-    return result;
+    std::vector<std::vector<Row>> chunk_rows(NumChunks(ctx, right.num_rows()));
+    ParallelForChunks(
+        ctx, right.num_rows(), [&](size_t chunk, size_t begin, size_t end) {
+          std::vector<Row>& out_rows = chunk_rows[chunk];
+          // Reuse one scratch key row across probes to avoid per-row allocs.
+          Row key(right_key_idx.size());
+          for (size_t r = begin; r < end; ++r) {
+            const Row& rrow = right.rows()[r];
+            for (size_t i = 0; i < right_key_idx.size(); ++i) {
+              key[i] = rrow[right_key_idx[i]];
+            }
+            if (KeyHasNull(key)) continue;
+            auto it = build.find(key);
+            if (it == build.end()) continue;
+            for (size_t li : it->second) {
+              Row out = combined_row_of(left.rows()[li], rrow);
+              if (residual && !ValueIsTrue(residual(out))) continue;
+              out_rows.push_back(std::move(out));
+            }
+          }
+        });
+    return ConcatChunks(output_schema, std::move(chunk_rows));
   }
 
   // Build side: right.
@@ -128,65 +148,71 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     build[std::move(key)].push_back(i);
   }
 
-  std::vector<bool> right_matched(right.num_rows(), false);
-  Table result(output_schema);
+  // Matched-flag per right row; written concurrently by probe chunks
+  // (monotonic set-to-1, so relaxed ordering suffices — ParallelFor's join
+  // orders the flags before the right-remainder scan below).
+  std::vector<std::atomic<uint8_t>> right_matched(right.num_rows());
 
-  auto combined_row = [&](const Row& l, const Row& r) {
-    Row out = l;
-    out.reserve(output_schema.num_columns());
-    for (size_t i : right_payload_idx) out.push_back(r[i]);
-    return out;
-  };
-
-  for (const Row& lrow : left.rows()) {
-    Row key = ProjectRow(lrow, left_key_idx);
-    bool matched = false;
-    if (!KeyHasNull(key)) {
-      auto it = build.find(key);
-      if (it != build.end()) {
-        for (size_t ri : it->second) {
-          Row out = combined_row(lrow, right.rows()[ri]);
-          if (residual && !ValueIsTrue(residual(out))) continue;
-          matched = true;
-          right_matched[ri] = true;
+  std::vector<std::vector<Row>> chunk_rows(NumChunks(ctx, left.num_rows()));
+  ParallelForChunks(
+      ctx, left.num_rows(), [&](size_t chunk, size_t begin, size_t end) {
+        std::vector<Row>& out_rows = chunk_rows[chunk];
+        // Reuse one scratch key row across probes to avoid per-row allocs.
+        Row key(left_key_idx.size());
+        for (size_t r = begin; r < end; ++r) {
+          const Row& lrow = left.rows()[r];
+          for (size_t i = 0; i < left_key_idx.size(); ++i) {
+            key[i] = lrow[left_key_idx[i]];
+          }
+          bool matched = false;
+          if (!KeyHasNull(key)) {
+            auto it = build.find(key);
+            if (it != build.end()) {
+              for (size_t ri : it->second) {
+                Row out = combined_row_of(lrow, right.rows()[ri]);
+                if (residual && !ValueIsTrue(residual(out))) continue;
+                matched = true;
+                right_matched[ri].store(1, std::memory_order_relaxed);
+                switch (spec.type) {
+                  case JoinType::kInner:
+                  case JoinType::kLeftOuter:
+                  case JoinType::kFullOuter:
+                    out_rows.push_back(std::move(out));
+                    break;
+                  case JoinType::kLeftSemi:
+                  case JoinType::kLeftAnti:
+                    break;  // handled below
+                }
+                if (semi_or_anti) break;  // one match decides
+              }
+            }
+          }
           switch (spec.type) {
-            case JoinType::kInner:
+            case JoinType::kLeftSemi:
+              if (matched) out_rows.push_back(lrow);
+              break;
+            case JoinType::kLeftAnti:
+              if (!matched) out_rows.push_back(lrow);
+              break;
             case JoinType::kLeftOuter:
             case JoinType::kFullOuter:
-              result.AddRow(std::move(out));
+              if (!matched) {
+                Row out = lrow;
+                out.resize(output_schema.num_columns(), Value::Null());
+                out_rows.push_back(std::move(out));
+              }
               break;
-            case JoinType::kLeftSemi:
-            case JoinType::kLeftAnti:
-              break;  // handled below
+            case JoinType::kInner:
+              break;
           }
-          if (semi_or_anti) break;  // one match decides
         }
-      }
-    }
-    switch (spec.type) {
-      case JoinType::kLeftSemi:
-        if (matched) result.AddRow(lrow);
-        break;
-      case JoinType::kLeftAnti:
-        if (!matched) result.AddRow(lrow);
-        break;
-      case JoinType::kLeftOuter:
-      case JoinType::kFullOuter:
-        if (!matched) {
-          Row out = lrow;
-          out.resize(output_schema.num_columns(), Value::Null());
-          result.AddRow(std::move(out));
-        }
-        break;
-      case JoinType::kInner:
-        break;
-    }
-  }
+      });
+  Table result = ConcatChunks(output_schema, std::move(chunk_rows));
 
   if (spec.type == JoinType::kFullOuter) {
     // Right-only rows: left key columns coalesce to the right key values.
     for (size_t ri = 0; ri < right.num_rows(); ++ri) {
-      if (right_matched[ri]) continue;
+      if (right_matched[ri].load(std::memory_order_relaxed) != 0) continue;
       Row out(output_schema.num_columns(), Value::Null());
       const Row& rrow = right.rows()[ri];
       for (size_t k = 0; k < left_key_idx.size(); ++k) {
@@ -203,12 +229,13 @@ Result<Table> HashJoin(const Table& left, const Table& right,
 }
 
 Result<Table> EquiJoin(const Table& left, const Table& right,
-                       const std::vector<std::string>& keys) {
+                       const std::vector<std::string>& keys,
+                       const ExecContext& ctx) {
   JoinSpec spec;
   spec.left_keys = keys;
   spec.right_keys = keys;
   spec.type = JoinType::kInner;
-  return HashJoin(left, right, spec);
+  return HashJoin(left, right, spec, ctx);
 }
 
 Result<Table> NestedLoopJoin(const Table& left, const Table& right,

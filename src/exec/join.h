@@ -7,6 +7,7 @@
 #include "expr/expr.h"
 #include "relation/table.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace gpivot::exec {
 
@@ -38,12 +39,18 @@ struct JoinSpec {
 //
 // Non-key right columns whose names collide with left columns are an error:
 // rename before joining.
+//
+// With ctx.num_threads > 1 the probe phase runs on contiguous probe-row
+// chunks whose per-chunk outputs are concatenated in chunk order, so the
+// result is byte-identical to the sequential join (the build phase and the
+// full-outer right-remainder scan stay sequential).
 Result<Table> HashJoin(const Table& left, const Table& right,
-                       const JoinSpec& spec);
+                       const JoinSpec& spec, const ExecContext& ctx = {});
 
 // Convenience: natural inner equi-join on identically named `keys`.
 Result<Table> EquiJoin(const Table& left, const Table& right,
-                       const std::vector<std::string>& keys);
+                       const std::vector<std::string>& keys,
+                       const ExecContext& ctx = {});
 
 // Nested-loop join with an arbitrary predicate over the concatenated
 // (left ++ right) schema; right columns keep their names, so callers must

@@ -172,7 +172,8 @@ Result<Table> EvaluatePostRestricted(
       GPIVOT_ASSIGN_OR_RETURN(
           Table right, EvaluatePostRestricted(propagator, node->right(),
                                               key_names, keys));
-      return exec::HashJoin(left, right, spec);
+      return exec::HashJoin(left, right, spec,
+                            propagator->exec_context());
     }
     default:
       break;
@@ -373,9 +374,10 @@ Result<MaintenancePlan> MaintenancePlan::Compile(PlanPtr view_query,
 
 Result<StagedRefresh> MaintenancePlan::Stage(const Catalog& pre_catalog,
                                              const SourceDeltas& deltas,
-                                             const MaterializedView& view) const {
+                                             const MaterializedView& view,
+                                             const ExecContext& ctx) const {
   GPIVOT_FAULT_POINT("MaintenancePlan::Stage");
-  DeltaPropagator propagator(&pre_catalog, &deltas);
+  DeltaPropagator propagator(&pre_catalog, &deltas, ctx);
   StagedRefresh staged;
   switch (strategy_) {
     case RefreshStrategy::kFullRecompute: {
@@ -427,9 +429,10 @@ Status MaintenancePlan::CommitStaged(StagedRefresh staged,
 
 Status MaintenancePlan::Refresh(const Catalog& pre_catalog,
                                 const SourceDeltas& deltas,
-                                MaterializedView* view) const {
+                                MaterializedView* view,
+                                const ExecContext& ctx) const {
   GPIVOT_ASSIGN_OR_RETURN(StagedRefresh staged,
-                          Stage(pre_catalog, deltas, *view));
+                          Stage(pre_catalog, deltas, *view, ctx));
   UndoLog undo;
   Status st = CommitStaged(std::move(staged), view, &undo);
   if (!st.ok()) undo.Rollback(view);
@@ -474,10 +477,12 @@ Result<MergePlan> MaintenancePlan::StageCombinedGroupByRefresh(
                           propagator->Propagate(group_child_));
   GPIVOT_ASSIGN_OR_RETURN(
       Table agg_ins, exec::GroupBy(child_delta.inserts, group_columns_,
-                                   group_aggregates_));
+                                   group_aggregates_,
+                                   propagator->exec_context()));
   GPIVOT_ASSIGN_OR_RETURN(
       Table agg_del, exec::GroupBy(child_delta.deletes, group_columns_,
-                                   group_aggregates_));
+                                   group_aggregates_,
+                                   propagator->exec_context()));
   GPIVOT_ASSIGN_OR_RETURN(Table pivoted_ins, GPivot(agg_ins, layout_->spec));
   GPIVOT_ASSIGN_OR_RETURN(Table pivoted_del, GPivot(agg_del, layout_->spec));
   return StagePivotGroupByUpdate(view, *layout_, *agg_layout_,

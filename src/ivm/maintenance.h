@@ -66,10 +66,13 @@ class MaintenancePlan {
   // Propagates `deltas` (relative to `pre_catalog`) and computes this
   // view's final refresh without mutating `view` or the base tables.
   // Inconsistent deltas (absent delete keys, duplicate inserts, negative
-  // counts) are detected here, before anything changes.
+  // counts) are detected here, before anything changes. `ctx` parallelizes
+  // the operators inside propagation; staging itself reads shared state
+  // only, so independent views can stage concurrently.
   Result<StagedRefresh> Stage(const Catalog& pre_catalog,
                               const SourceDeltas& deltas,
-                              const MaterializedView& view) const;
+                              const MaterializedView& view,
+                              const ExecContext& ctx = {}) const;
 
   // Applies a staged refresh, recording every mutation in `undo` so a
   // failure later in the same epoch can roll `view` back byte-identically.
@@ -79,7 +82,7 @@ class MaintenancePlan {
   // Stage + commit in one step (single-view, no cross-view atomicity). On
   // failure the view is unchanged.
   Status Refresh(const Catalog& pre_catalog, const SourceDeltas& deltas,
-                 MaterializedView* view) const;
+                 MaterializedView* view, const ExecContext& ctx = {}) const;
 
   std::string ToString() const;
 

@@ -14,8 +14,9 @@
 namespace gpivot::ivm {
 
 DeltaPropagator::DeltaPropagator(const Catalog* pre_catalog,
-                                 const SourceDeltas* deltas)
-    : pre_(pre_catalog), deltas_(deltas), post_(*pre_catalog) {}
+                                 const SourceDeltas* deltas,
+                                 const ExecContext& ctx)
+    : pre_(pre_catalog), deltas_(deltas), ctx_(ctx), post_(*pre_catalog) {}
 
 Result<const Catalog*> DeltaPropagator::PostCatalog() {
   if (!post_built_) {
@@ -37,12 +38,12 @@ Result<const Catalog*> DeltaPropagator::PostCatalog() {
 }
 
 Result<Table> DeltaPropagator::EvaluatePre(const PlanPtr& plan) {
-  return Evaluate(plan, *pre_);
+  return Evaluate(plan, *pre_, ctx_);
 }
 
 Result<Table> DeltaPropagator::EvaluatePost(const PlanPtr& plan) {
   GPIVOT_ASSIGN_OR_RETURN(const Catalog* post, PostCatalog());
-  return Evaluate(plan, *post);
+  return Evaluate(plan, *post, ctx_);
 }
 
 Result<std::shared_ptr<const Table>> DeltaPropagator::EvaluateRef(
@@ -54,7 +55,7 @@ Result<std::shared_ptr<const Table>> DeltaPropagator::EvaluateRef(
   }
   auto it = memo->find(plan.get());
   if (it != memo->end()) return it->second;
-  GPIVOT_ASSIGN_OR_RETURN(Table result, Evaluate(plan, catalog));
+  GPIVOT_ASSIGN_OR_RETURN(Table result, Evaluate(plan, catalog, ctx_));
   auto shared = std::make_shared<const Table>(std::move(result));
   memo->emplace(plan.get(), shared);
   return std::shared_ptr<const Table>(shared);
@@ -159,18 +160,18 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
         GPIVOT_ASSIGN_OR_RETURN(Delta left, Propagate(node->left()));
         GPIVOT_ASSIGN_OR_RETURN(auto right, EvaluatePreRef(node->right()));
         GPIVOT_ASSIGN_OR_RETURN(Table ins,
-                                exec::HashJoin(left.inserts, *right, spec));
+                                exec::HashJoin(left.inserts, *right, spec, ctx_));
         GPIVOT_ASSIGN_OR_RETURN(Table del,
-                                exec::HashJoin(left.deletes, *right, spec));
+                                exec::HashJoin(left.deletes, *right, spec, ctx_));
         return Delta{std::move(ins), std::move(del)};
       }
       if (left_unchanged) {
         GPIVOT_ASSIGN_OR_RETURN(Delta right, Propagate(node->right()));
         GPIVOT_ASSIGN_OR_RETURN(auto left, EvaluatePreRef(node->left()));
         GPIVOT_ASSIGN_OR_RETURN(Table ins,
-                                exec::HashJoin(*left, right.inserts, spec));
+                                exec::HashJoin(*left, right.inserts, spec, ctx_));
         GPIVOT_ASSIGN_OR_RETURN(Table del,
-                                exec::HashJoin(*left, right.deletes, spec));
+                                exec::HashJoin(*left, right.deletes, spec, ctx_));
         return Delta{std::move(ins), std::move(del)};
       }
 
@@ -183,19 +184,19 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
                               EvaluatePostRef(node->right()));
 
       GPIVOT_ASSIGN_OR_RETURN(Table del1,
-                              exec::HashJoin(left.deletes, *right_pre, spec));
+                              exec::HashJoin(left.deletes, *right_pre, spec, ctx_));
       GPIVOT_ASSIGN_OR_RETURN(Table left_mid,
                               exec::BagDifference(*left_pre, left.deletes));
       GPIVOT_ASSIGN_OR_RETURN(Table del2,
-                              exec::HashJoin(left_mid, right.deletes, spec));
+                              exec::HashJoin(left_mid, right.deletes, spec, ctx_));
       GPIVOT_ASSIGN_OR_RETURN(Table del, exec::UnionAll(del1, del2));
 
       GPIVOT_ASSIGN_OR_RETURN(Table ins1,
-                              exec::HashJoin(left.inserts, *right_post, spec));
+                              exec::HashJoin(left.inserts, *right_post, spec, ctx_));
       GPIVOT_ASSIGN_OR_RETURN(Table left_rest,
                               exec::BagDifference(*left_post, left.inserts));
       GPIVOT_ASSIGN_OR_RETURN(Table ins2,
-                              exec::HashJoin(left_rest, right.inserts, spec));
+                              exec::HashJoin(left_rest, right.inserts, spec, ctx_));
       GPIVOT_ASSIGN_OR_RETURN(Table ins, exec::UnionAll(ins1, ins2));
       return Delta{std::move(ins), std::move(del)};
     }
@@ -221,7 +222,7 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
           exec::SemiJoinKeySet(*pre, node->group_columns(), affected));
       GPIVOT_ASSIGN_OR_RETURN(
           Table del, exec::GroupBy(pre_affected, node->group_columns(),
-                                   node->aggregates()));
+                                   node->aggregates(), ctx_));
 
       GPIVOT_ASSIGN_OR_RETURN(auto post, EvaluatePostRef(node->child()));
       GPIVOT_ASSIGN_OR_RETURN(
@@ -229,7 +230,7 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
           exec::SemiJoinKeySet(*post, node->group_columns(), affected));
       GPIVOT_ASSIGN_OR_RETURN(
           Table ins, exec::GroupBy(post_affected, node->group_columns(),
-                                   node->aggregates()));
+                                   node->aggregates(), ctx_));
       GPIVOT_RETURN_NOT_OK(ins.SetKey({}));
       GPIVOT_RETURN_NOT_OK(del.SetKey({}));
       return Delta{std::move(ins), std::move(del)};

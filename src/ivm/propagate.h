@@ -19,8 +19,12 @@ namespace gpivot::ivm {
 class DeltaPropagator {
  public:
   // Both referents must outlive the propagator. `pre_catalog` is copied to
-  // build the post-state catalog.
-  DeltaPropagator(const Catalog* pre_catalog, const SourceDeltas* deltas);
+  // build the post-state catalog. `ctx` parallelizes the join/group-by
+  // operators inside every subtree evaluation and propagation rule.
+  DeltaPropagator(const Catalog* pre_catalog, const SourceDeltas* deltas,
+                  const ExecContext& ctx = {});
+
+  const ExecContext& exec_context() const { return ctx_; }
 
   // (Δ, ∇) of `plan`'s output.
   Result<Delta> Propagate(const PlanPtr& plan);
@@ -54,6 +58,7 @@ class DeltaPropagator {
 
   const Catalog* pre_;
   const SourceDeltas* deltas_;
+  ExecContext ctx_;
   Catalog post_;
   bool post_built_ = false;
   std::unordered_map<const PlanNode*, std::shared_ptr<const Table>> pre_memo_;

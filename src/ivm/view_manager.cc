@@ -16,7 +16,8 @@ Status ViewManager::DefineView(const std::string& name, PlanPtr query,
   GPIVOT_ASSIGN_OR_RETURN(MaintenancePlan plan,
                           MaintenancePlan::Compile(query, strategy));
   GPIVOT_ASSIGN_OR_RETURN(Table initial,
-                          Evaluate(plan.effective_query(), catalog_));
+                          Evaluate(plan.effective_query(), catalog_,
+                                   exec_context_));
   GPIVOT_ASSIGN_OR_RETURN(MaterializedView view,
                           MaterializedView::Create(std::move(initial)));
   views_.emplace(name, ViewState{std::move(plan), std::move(view)});
@@ -108,15 +109,28 @@ Status ViewManager::RefreshViewsInternal(const SourceDeltas& deltas,
                                          EpochUndo* undo) {
   // Stage phase: every view's refresh is computed against the pre-epoch
   // catalog and validated; nothing mutates until all views staged cleanly.
+  // Views are independent (each Stage only reads the shared catalog and its
+  // own view), so they stage concurrently — one task per view. Each slot is
+  // written by exactly one task; the first failure in view-list order wins,
+  // so the reported error doesn't depend on scheduling.
+  std::vector<ViewState*> states;
+  states.reserve(views_.size());
+  for (auto& [name, state] : views_) states.push_back(&state);
+  std::vector<std::optional<Result<StagedRefresh>>> slots(states.size());
+  ParallelFor(exec_context_, states.size(), [&](size_t i) {
+    slots[i].emplace(
+        states[i]->plan.Stage(catalog_, deltas, states[i]->view,
+                              exec_context_));
+  });
   std::vector<std::pair<ViewState*, StagedRefresh>> staged;
-  staged.reserve(views_.size());
-  for (auto& [name, state] : views_) {
-    GPIVOT_ASSIGN_OR_RETURN(StagedRefresh refresh,
-                            state.plan.Stage(catalog_, deltas, state.view));
-    staged.emplace_back(&state, std::move(refresh));
+  staged.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    GPIVOT_ASSIGN_OR_RETURN(StagedRefresh refresh, std::move(*slots[i]));
+    staged.emplace_back(states[i], std::move(refresh));
   }
   // Commit phase: apply each view's merge, logging every mutation so a
-  // failure here (or later in the epoch) rolls everything back.
+  // failure here (or later in the epoch) rolls everything back. Stays
+  // serial — the undo log's "reverse commit order" rollback depends on it.
   for (auto& [state, refresh] : staged) {
     GPIVOT_FAULT_POINT("ViewManager::CommitView");
     undo->views.emplace_back(state, UndoLog());
@@ -159,7 +173,8 @@ Status ViewManager::Audit() const {
   for (const auto& [name, state] : views_) {
     GPIVOT_RETURN_NOT_OK(state.view.ValidateIntegrity());
     GPIVOT_ASSIGN_OR_RETURN(Table recomputed,
-                            Evaluate(state.plan.effective_query(), catalog_));
+                            Evaluate(state.plan.effective_query(),
+                                     catalog_, exec_context_));
     if (!recomputed.BagEquals(state.view.table())) {
       return Status::Internal(
           StrCat("audit: view '", name,
@@ -174,7 +189,7 @@ Status ViewManager::Audit() const {
 Result<Table> ViewManager::RecomputeFromScratch(
     const std::string& name) const {
   GPIVOT_ASSIGN_OR_RETURN(const MaintenancePlan* plan, GetPlan(name));
-  return Evaluate(plan->effective_query(), catalog_);
+  return Evaluate(plan->effective_query(), catalog_, exec_context_);
 }
 
 }  // namespace gpivot::ivm

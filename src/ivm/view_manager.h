@@ -31,6 +31,16 @@ class ViewManager {
   const Catalog& catalog() const { return catalog_; }
   Catalog* mutable_catalog() { return &catalog_; }
 
+  // Maintenance-executor concurrency. Staging (the propagate phase, which
+  // only reads the pre-epoch catalog) runs one task per view on up to
+  // num_threads pool workers, and the operators inside each propagation
+  // parallelize row work with the same context. The commit phase — view
+  // merges, base advance, undo logging — stays serial, preserving the
+  // epoch's atomic rollback semantics. Results are byte-identical for every
+  // thread count. Default: sequential.
+  void set_exec_context(const ExecContext& ctx) { exec_context_ = ctx; }
+  const ExecContext& exec_context() const { return exec_context_; }
+
   // Compiles a maintenance plan for `query` under `strategy`, materializes
   // the (possibly rewritten) view, and registers it under `name`.
   Status DefineView(const std::string& name, PlanPtr query,
@@ -89,6 +99,7 @@ class ViewManager {
 
   Catalog catalog_;
   std::unordered_map<std::string, ViewState> views_;
+  ExecContext exec_context_;
 };
 
 }  // namespace gpivot::ivm

@@ -1,0 +1,123 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gpivot {
+
+namespace {
+
+// Set while a Global()-pool worker is executing tasks; read by
+// ParallelFor's inline-fallback check.
+thread_local bool t_on_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  GPIVOT_CHECK(num_threads > 0) << "thread pool needs at least one worker";
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GPIVOT_CHECK(!stop_) << "Submit on stopped pool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Intentionally leaked (never destroyed): worker threads must not be
+  // joined during static destruction, where other static state they might
+  // touch is already gone.
+  static ThreadPool* const kPool = [] {
+    size_t hw = std::thread::hardware_concurrency();
+    return new ThreadPool(std::max<size_t>(hw, 4) - 1);
+  }();
+  return *kPool;
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
+
+void ParallelFor(const ExecContext& ctx, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  size_t stripes = std::min(ctx.num_threads, n);
+  if (stripes <= 1 || ThreadPool::OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Static contiguous stripes: stripe t covers [t*n/stripes,
+  // (t+1)*n/stripes). The caller runs stripe 0; workers run the rest.
+  auto run_stripe = [&](size_t t) {
+    size_t begin = t * n / stripes;
+    size_t end = (t + 1) * n / stripes;
+    for (size_t i = begin; i < end; ++i) fn(i);
+  };
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = stripes - 1;
+  ThreadPool& pool = ThreadPool::Global();
+  for (size_t t = 1; t < stripes; ++t) {
+    pool.Submit([&, t] {
+      run_stripe(t);
+      // Notify while holding done_mu: the waiting caller can't observe
+      // remaining == 0 (and destroy done_cv on return) until this worker
+      // releases the lock, which is after notify_one completes.
+      std::lock_guard<std::mutex> lock(done_mu);
+      --remaining;
+      done_cv.notify_one();
+    });
+  }
+  run_stripe(0);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+size_t NumChunks(const ExecContext& ctx, size_t n) {
+  if (!ctx.ShouldParallelize(n)) return 1;
+  return std::min(ctx.num_threads, n);
+}
+
+void ParallelForChunks(
+    const ExecContext& ctx, size_t n,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& fn) {
+  size_t chunks = NumChunks(ctx, n);
+  if (chunks <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  ParallelFor(ExecContext{chunks, 0}, chunks, [&](size_t c) {
+    fn(c, c * n / chunks, (c + 1) * n / chunks);
+  });
+}
+
+}  // namespace gpivot

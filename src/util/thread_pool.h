@@ -1,0 +1,103 @@
+#ifndef GPIVOT_UTIL_THREAD_POOL_H_
+#define GPIVOT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpivot {
+
+// Concurrency knob threaded through the operator APIs (HashJoin, GroupBy,
+// GPivotParallel, Evaluate, the maintenance planner, ViewManager). The
+// default — one thread — is exactly the pre-existing sequential behavior,
+// so every caller that doesn't opt in is unaffected.
+//
+// Parallel operators are *deterministic*: their output is byte-identical
+// for every num_threads value, because work is split into statically
+// assigned stripes whose results are combined in stripe order (no work
+// stealing, no contended output buffers). The §4.3 analogy: stripes play
+// the role of GPIVOT partitions, the stripe-order combine plays the
+// group-wise merge.
+struct ExecContext {
+  size_t num_threads = 1;
+
+  // Inputs with fewer rows than this stay sequential even when
+  // num_threads > 1: dispatch overhead would dominate, and delta
+  // propagation runs many tiny operator calls. Tests lower it to force the
+  // parallel code paths onto small tables.
+  size_t min_parallel_rows = 1024;
+
+  bool ShouldParallelize(size_t rows) const {
+    return num_threads > 1 && rows >= min_parallel_rows && rows >= 2;
+  }
+};
+
+// A fixed set of worker threads draining a FIFO task queue. Deliberately
+// work-stealing-free: ParallelFor assigns stripes statically, so a run's
+// write pattern (which thread writes which output slot) is a pure function
+// of (n, num_threads) — the foundation of the determinism guarantee.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues one task. Tasks must not block waiting for other pool tasks
+  // (ParallelFor guarantees this by running inline on worker threads).
+  void Submit(std::function<void()> task);
+
+  // Process-wide pool, created on first use with
+  // max(hardware_concurrency, 4) - 1 workers (the ParallelFor caller
+  // contributes the remaining stripe), so requested parallelism is
+  // available even on small machines.
+  static ThreadPool& Global();
+
+  // True when called from inside a Global()-pool worker. ParallelFor uses
+  // this to run nested invocations inline, which both prevents deadlock
+  // (workers never wait on the queue) and avoids thread oversubscription
+  // when an already-parallel phase calls parallel operators.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(i) for every i in [0, n), splitting the index range into at most
+// ctx.num_threads contiguous stripes on the global pool. Runs inline (plain
+// loop) when ctx.num_threads <= 1, n <= 1, or when already on a pool
+// worker. Returns after every index completed. fn must confine its writes
+// to per-index state; it must not throw (this codebase reports errors via
+// Status slots the caller indexes by i).
+void ParallelFor(const ExecContext& ctx, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+// The chunk count ParallelForChunks will use for n items: 1 when the input
+// stays sequential (per ctx.ShouldParallelize), else min(num_threads, n).
+// Callers pre-size per-chunk result buffers with this.
+size_t NumChunks(const ExecContext& ctx, size_t n);
+
+// Range-parallel variant for row loops: runs fn(chunk, begin, end) for each
+// of NumChunks(ctx, n) contiguous chunks covering [0, n). Chunk boundaries
+// are a pure function of (n, chunk count), so per-chunk outputs
+// concatenated in chunk order reproduce the sequential row order exactly.
+void ParallelForChunks(
+    const ExecContext& ctx, size_t n,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& fn);
+
+}  // namespace gpivot
+
+#endif  // GPIVOT_UTIL_THREAD_POOL_H_
