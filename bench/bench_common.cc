@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -8,8 +9,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "ivm/view_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tpch/views.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -25,13 +29,38 @@ double EnvDouble(const char* name, double fallback) {
   return value == nullptr ? fallback : std::atof(value);
 }
 
+// Integer env vars (seeds, rep counts) must not round-trip through double:
+// atof silently truncates large seeds and accepts garbage as 0.
+uint64_t EnvUint64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return static_cast<uint64_t>(parsed);
+}
+
+// GPIVOT_BENCH_REPS: identical-epoch repetitions per (strategy, fraction);
+// the JSON reports min and median so one descheduled rep doesn't skew the
+// trajectory.
+size_t BenchReps() {
+  static const size_t kReps = [] {
+    uint64_t reps = EnvUint64("GPIVOT_BENCH_REPS", 3);
+    return reps == 0 ? size_t{1} : static_cast<size_t>(reps);
+  }();
+  return kReps;
+}
+
 // One (strategy, fraction) measurement inside a figure sweep.
 struct BenchRecord {
   std::string strategy;
   double fraction = 0;
-  double wall_ms = 0;
+  double wall_ms = 0;         // min across reps
+  double wall_ms_median = 0;  // median across reps
+  size_t reps = 0;
   size_t view_rows = 0;
   size_t delta_rows = 0;
+  std::string metrics_json;  // last rep's snapshot; empty when disabled
 };
 
 // Collects every record produced by this process and writes one
@@ -96,12 +125,27 @@ class BenchJsonRegistry {
         out << "    {\"strategy\": \"" << r.strategy << "\", "
             << "\"delta_fraction\": " << FormatDouble(r.fraction) << ", "
             << "\"wall_ms\": " << FormatDouble(r.wall_ms) << ", "
+            << "\"wall_ms_median\": " << FormatDouble(r.wall_ms_median) << ", "
+            << "\"reps\": " << r.reps << ", "
             << "\"view_rows\": " << r.view_rows << ", "
-            << "\"delta_rows\": " << r.delta_rows << "}"
-            << (i + 1 < records.size() ? "," : "") << "\n";
+            << "\"delta_rows\": " << r.delta_rows;
+        if (!r.metrics_json.empty()) {
+          out << ",\n     \"metrics\": " << r.metrics_json;
+        }
+        out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
       }
       out << "  ]\n";
       out << "}\n";
+      // When tracing is on, drop the process's span log next to the figure
+      // JSON (same base name) in GPIVOT_TRACE_DIR.
+      const std::string& trace_dir = obs::TraceDirFromEnv();
+      if (!trace_dir.empty() && obs::Tracer::Global().num_spans() > 0) {
+        std::string trace_path =
+            StrCat(trace_dir, "/TRACE_", Sanitize(figure), ".json");
+        if (!obs::Tracer::Global().WriteChromeTrace(trace_path)) {
+          std::fprintf(stderr, "bench: cannot write %s\n", trace_path.c_str());
+        }
+      }
     }
   }
 
@@ -146,65 +190,84 @@ void RunRefresh(benchmark::State& state, const char* figure_name, ViewId view,
                 ivm::RefreshStrategy strategy, WorkloadKind kind,
                 double fraction) {
   const BenchContext& context = SharedContext();
+  const ExecContext exec = BenchExecContext();
   const bool verify = std::getenv("GPIVOT_BENCH_VERIFY") != nullptr;
   const bool audit = std::getenv("GPIVOT_BENCH_AUDIT") != nullptr;
+  const size_t reps = BenchReps();
   size_t view_rows = 0;
   size_t delta_rows = 0;
-  double wall_ms = 0;
+  std::vector<double> rep_ms;
+  std::string metrics_json;
   for (auto _ : state) {
-    state.PauseTiming();
-    tpch::Data copy = context.data;  // fresh base tables per iteration
-    auto catalog = tpch::MakeCatalog(std::move(copy));
-    GPIVOT_CHECK(catalog.ok()) << catalog.status().ToString();
-    auto query = BuildView(view, *catalog, context.config);
-    GPIVOT_CHECK(query.ok()) << query.status().ToString();
-    ivm::ViewManager manager(std::move(*catalog));
-    manager.set_exec_context(BenchExecContext());
-    Status defined = manager.DefineView("v", *query, strategy);
-    GPIVOT_CHECK(defined.ok()) << defined.ToString();
-    auto deltas = MakeWorkload(manager.catalog(), context.config, kind,
-                               fraction, 0xBEEF + state.iterations());
-    GPIVOT_CHECK(deltas.ok()) << deltas.status().ToString();
-    const ivm::Delta& lineitem_delta = deltas->at("lineitem");
-    delta_rows = lineitem_delta.inserts.num_rows() +
-                 lineitem_delta.deletes.num_rows();
-    state.ResumeTiming();
+    rep_ms.clear();
+    // Every repetition rebuilds the view and replays the *same* delta batch
+    // (fixed workload seed), so the reps time an identical epoch and their
+    // spread is pure measurement noise.
+    for (size_t rep = 0; rep < reps; ++rep) {
+      tpch::Data copy = context.data;  // fresh base tables per repetition
+      auto catalog = tpch::MakeCatalog(std::move(copy));
+      GPIVOT_CHECK(catalog.ok()) << catalog.status().ToString();
+      auto query = BuildView(view, *catalog, context.config);
+      GPIVOT_CHECK(query.ok()) << query.status().ToString();
+      ivm::ViewManager manager(std::move(*catalog));
+      manager.set_exec_context(exec);
+      Status defined = manager.DefineView("v", *query, strategy);
+      GPIVOT_CHECK(defined.ok()) << defined.ToString();
+      auto deltas =
+          MakeWorkload(manager.catalog(), context.config, kind, fraction,
+                       0xBEEF);
+      GPIVOT_CHECK(deltas.ok()) << deltas.status().ToString();
+      const ivm::Delta& lineitem_delta = deltas->at("lineitem");
+      delta_rows = lineitem_delta.inserts.num_rows() +
+                   lineitem_delta.deletes.num_rows();
+      if (exec.metrics != nullptr) exec.metrics->Reset();
 
-    // Timed: the propagate + apply phases only. The base-table advance is
-    // identical across strategies and excluded, as in the paper.
-    auto wall_begin = std::chrono::steady_clock::now();
-    Status refreshed = manager.RefreshViews(*deltas);
-    auto wall_end = std::chrono::steady_clock::now();
+      // Timed: the propagate + apply phases only. The base-table advance is
+      // identical across strategies and excluded, as in the paper.
+      auto wall_begin = std::chrono::steady_clock::now();
+      Status refreshed = manager.RefreshViews(*deltas);
+      auto wall_end = std::chrono::steady_clock::now();
 
-    state.PauseTiming();
-    wall_ms = std::chrono::duration<double, std::milli>(wall_end - wall_begin)
-                  .count();
-    GPIVOT_CHECK(refreshed.ok()) << refreshed.ToString();
-    Status advanced = manager.AdvanceBase(*deltas);
-    GPIVOT_CHECK(advanced.ok()) << advanced.ToString();
-    view_rows = manager.GetView("v").value()->num_rows();
-    if (verify) {
-      auto recomputed = manager.RecomputeFromScratch("v");
-      GPIVOT_CHECK(recomputed.ok()) << recomputed.status().ToString();
-      GPIVOT_CHECK(recomputed->BagEquals(
-          manager.GetView("v").value()->table()))
-          << "verification failed for "
-          << ivm::RefreshStrategyToString(strategy);
+      rep_ms.push_back(
+          std::chrono::duration<double, std::milli>(wall_end - wall_begin)
+              .count());
+      GPIVOT_CHECK(refreshed.ok()) << refreshed.ToString();
+      if (exec.metrics != nullptr && exec.metrics->enabled()) {
+        metrics_json = exec.metrics->Snapshot().ToJson(5);
+      }
+      Status advanced = manager.AdvanceBase(*deltas);
+      GPIVOT_CHECK(advanced.ok()) << advanced.ToString();
+      view_rows = manager.GetView("v").value()->num_rows();
+      if (verify) {
+        auto recomputed = manager.RecomputeFromScratch("v");
+        GPIVOT_CHECK(recomputed.ok()) << recomputed.status().ToString();
+        GPIVOT_CHECK(recomputed->BagEquals(
+            manager.GetView("v").value()->table()))
+            << "verification failed for "
+            << ivm::RefreshStrategyToString(strategy);
+      }
+      if (audit) {
+        Status audited = manager.Audit();
+        GPIVOT_CHECK(audited.ok())
+            << "audit failed for " << ivm::RefreshStrategyToString(strategy)
+            << ": " << audited.ToString();
+      }
     }
-    if (audit) {
-      Status audited = manager.Audit();
-      GPIVOT_CHECK(audited.ok())
-          << "audit failed for " << ivm::RefreshStrategyToString(strategy)
-          << ": " << audited.ToString();
-    }
-    state.ResumeTiming();
+    std::sort(rep_ms.begin(), rep_ms.end());
+    // Manual time = the min rep: the benchmark table and the JSON agree.
+    state.SetIterationTime(rep_ms.front() / 1000.0);
+  }
+  double median = rep_ms[rep_ms.size() / 2];
+  if (rep_ms.size() % 2 == 0) {
+    median = (median + rep_ms[rep_ms.size() / 2 - 1]) / 2.0;
   }
   state.counters["view_rows"] = static_cast<double>(view_rows);
   state.counters["delta_rows"] = static_cast<double>(delta_rows);
   BenchJsonRegistry::Get().Add(
       figure_name,
-      BenchRecord{ivm::RefreshStrategyToString(strategy), fraction, wall_ms,
-                  view_rows, delta_rows});
+      BenchRecord{ivm::RefreshStrategyToString(strategy), fraction,
+                  rep_ms.front(), median, reps, view_rows, delta_rows,
+                  std::move(metrics_json)});
 }
 
 }  // namespace
@@ -213,8 +276,7 @@ const BenchContext& SharedContext() {
   static const BenchContext* const kContext = [] {
     auto* context = new BenchContext();
     context->config.scale_factor = EnvDouble("GPIVOT_BENCH_SF", 0.02);
-    context->config.seed = static_cast<uint64_t>(
-        EnvDouble("GPIVOT_BENCH_SEED", 20050405));
+    context->config.seed = EnvUint64("GPIVOT_BENCH_SEED", 20050405);
     context->data = tpch::Generate(context->config);
     return context;
   }();
@@ -228,6 +290,8 @@ ExecContext BenchExecContext() {
     long parsed = std::atol(value);
     if (parsed > 0) ctx.num_threads = static_cast<size_t>(parsed);
   }
+  ctx.metrics = obs::MetricsFromEnv();
+  ctx.tracer = obs::TracerFromEnv();
   return ctx;
 }
 
@@ -251,6 +315,7 @@ void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
             RunRefresh(state, figure_name, view, strategy, kind, fraction);
           })
           ->Unit(benchmark::kMillisecond)
+          ->UseManualTime()
           ->Iterations(1);
     }
   }

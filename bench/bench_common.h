@@ -45,12 +45,18 @@ ExecContext BenchExecContext();
 // (ViewManager::Audit — integrity check plus recompute comparison) after
 // each epoch, also outside the timed region.
 //
+// Each (strategy, fraction) point runs GPIVOT_BENCH_REPS identical epochs
+// (default 3; same data, same delta batch) and reports the min as the
+// headline number.
+//
 // Besides the human-readable google-benchmark output, every run appends to
 // a machine-readable BENCH_<figure>.json (written at process exit into
 // GPIVOT_BENCH_JSON_DIR, default the working directory): one record per
-// (strategy, fraction) with the wall-clock refresh time and rows touched,
-// so the perf trajectory is tracked across PRs instead of scraped from
-// stdout.
+// (strategy, fraction) with the min/median wall-clock refresh time and rows
+// touched, so the perf trajectory is tracked across PRs instead of scraped
+// from stdout. With GPIVOT_METRICS=1 each record additionally embeds the
+// last rep's per-operator metrics snapshot; with GPIVOT_TRACE_DIR set a
+// Chrome-trace TRACE_<figure>.json lands in that directory.
 void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
                     const std::vector<ivm::RefreshStrategy>& strategies);
 

@@ -4,13 +4,19 @@
 #include "exec/basic_ops.h"
 #include "exec/group_by.h"
 #include "exec/join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/string_util.h"
 
 namespace gpivot {
 
-Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog,
-                       const ExecContext& ctx) {
-  GPIVOT_CHECK(plan != nullptr) << "Evaluate on null plan";
+namespace {
+
+// The recursive evaluator; the public Evaluate wraps each node with a span
+// and per-kind counters.
+Result<Table> EvaluateNode(const PlanPtr& plan, const Catalog& catalog,
+                           const ExecContext& ctx) {
   switch (plan->kind()) {
     case PlanKind::kScan: {
       const auto* scan = static_cast<const ScanNode*>(plan.get());
@@ -22,7 +28,7 @@ Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog,
       const auto* node = static_cast<const SelectNode*>(plan.get());
       GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
       GPIVOT_ASSIGN_OR_RETURN(Table result,
-                              exec::Select(child, node->predicate()));
+                              exec::Select(child, node->predicate(), ctx));
       GPIVOT_RETURN_NOT_OK(result.SetKey(child.key()));
       return result;
     }
@@ -31,7 +37,7 @@ Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog,
       GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
       GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> kept,
                               node->KeptColumns());
-      GPIVOT_ASSIGN_OR_RETURN(Table result, exec::Project(child, kept));
+      GPIVOT_ASSIGN_OR_RETURN(Table result, exec::Project(child, kept, ctx));
       GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key,
                               node->OutputKey());
       GPIVOT_RETURN_NOT_OK(result.SetKey(key));
@@ -40,8 +46,8 @@ Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog,
     case PlanKind::kMap: {
       const auto* node = static_cast<const MapNode*>(plan.get());
       GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
-      GPIVOT_ASSIGN_OR_RETURN(Table result,
-                              exec::ProjectExprs(child, node->outputs()));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table result, exec::ProjectExprs(child, node->outputs(), ctx));
       GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key,
                               node->OutputKey());
       GPIVOT_RETURN_NOT_OK(result.SetKey(key));
@@ -71,7 +77,7 @@ Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog,
     case PlanKind::kGPivot: {
       const auto* node = static_cast<const GPivotNode*>(plan.get());
       GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
-      return GPivot(child, node->spec());
+      return GPivot(child, node->spec(), ctx);
     }
     case PlanKind::kGUnpivot: {
       const auto* node = static_cast<const GUnpivotNode*>(plan.get());
@@ -84,6 +90,30 @@ Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog,
     }
   }
   return Status::Internal("unknown plan kind");
+}
+
+}  // namespace
+
+Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog,
+                       const ExecContext& ctx) {
+  GPIVOT_CHECK(plan != nullptr) << "Evaluate on null plan";
+  obs::ScopedSpan span =
+      obs::TraceEnabled(ctx.tracer)
+          ? obs::ScopedSpan(ctx.tracer,
+                            StrCat("eval:", PlanKindToString(plan->kind())))
+          : obs::ScopedSpan();
+  GPIVOT_ASSIGN_OR_RETURN(Table result, EvaluateNode(plan, catalog, ctx));
+  if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
+    ctx.metrics->AddCounter(
+        StrCat("algebra.eval.", PlanKindToString(plan->kind()), ".calls"));
+    ctx.metrics->AddCounter(
+        StrCat("algebra.eval.", PlanKindToString(plan->kind()), ".rows_out"),
+        result.num_rows());
+  }
+  if (span.active()) {
+    span.AddAttr("rows_out", static_cast<uint64_t>(result.num_rows()));
+  }
+  return result;
 }
 
 }  // namespace gpivot

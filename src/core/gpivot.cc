@@ -6,12 +6,17 @@
 
 #include "exec/basic_ops.h"
 #include "exec/join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
 namespace gpivot {
 
-Result<Table> GPivot(const Table& input, const PivotSpec& spec) {
+namespace {
+
+// The actual pivot; the public GPivot wraps it with instrumentation.
+Result<Table> GPivotImpl(const Table& input, const PivotSpec& spec) {
   GPIVOT_RETURN_NOT_OK(spec.Validate(input.schema()));
   GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key_names,
                           spec.KeyColumns(input.schema()));
@@ -80,6 +85,27 @@ Result<Table> GPivot(const Table& input, const PivotSpec& spec) {
   }
 
   GPIVOT_RETURN_NOT_OK(result.SetKey(key_names));
+  return result;
+}
+
+}  // namespace
+
+Result<Table> GPivot(const Table& input, const PivotSpec& spec,
+                     const ExecContext& ctx) {
+  obs::ScopedSpan span = obs::TraceEnabled(ctx.tracer)
+                             ? obs::ScopedSpan(ctx.tracer, "GPivot")
+                             : obs::ScopedSpan();
+  obs::ScopedLatency latency(ctx.metrics, "core.gpivot.ms");
+  GPIVOT_ASSIGN_OR_RETURN(Table result, GPivotImpl(input, spec));
+  if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
+    ctx.metrics->AddCounter("core.gpivot.calls");
+    ctx.metrics->AddCounter("core.gpivot.rows_in", input.num_rows());
+    ctx.metrics->AddCounter("core.gpivot.rows_out", result.num_rows());
+  }
+  if (span.active()) {
+    span.AddAttr("rows_in", static_cast<uint64_t>(input.num_rows()));
+    span.AddAttr("rows_out", static_cast<uint64_t>(result.num_rows()));
+  }
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "core/pivot_spec.h"
 #include "relation/table.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace gpivot {
 
@@ -18,7 +19,12 @@ namespace gpivot {
 // input lacks are ⊥. The output's declared key is K. Rows whose dimension
 // values match no listed combo are ignored (they join into no output row),
 // exactly as the full-outer-join formulation prescribes.
-Result<Table> GPivot(const Table& input, const PivotSpec& spec);
+//
+// The trailing ExecContext only feeds observability (core.gpivot.* counters
+// and a "GPivot" span); execution is single-pass sequential — use
+// GPivotParallel (core/parallel.h) for the §4.3 partitioned variant.
+Result<Table> GPivot(const Table& input, const PivotSpec& spec,
+                     const ExecContext& ctx = {});
 
 // Executes GUNPIVOT (Eq. 4): one output row per input row and group whose
 // source cells are not all ⊥.

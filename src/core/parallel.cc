@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "core/gpivot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -81,15 +83,34 @@ Result<Table> MergePivotedPartials(const std::vector<Table>& partials,
 
 Result<Table> GPivotParallel(const Table& input, const PivotSpec& spec,
                              size_t num_partitions, const ExecContext& ctx) {
+  obs::ScopedSpan span = obs::TraceEnabled(ctx.tracer)
+                             ? obs::ScopedSpan(ctx.tracer, "GPivotParallel")
+                             : obs::ScopedSpan();
+  obs::ScopedLatency latency(ctx.metrics, "core.gpivot_parallel.ms");
+  if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
+    ctx.metrics->AddCounter("core.gpivot_parallel.calls");
+    ctx.metrics->AddCounter("core.gpivot_parallel.rows_in", input.num_rows());
+    ctx.metrics->AddCounter("core.gpivot_parallel.partitions", num_partitions);
+  }
+  if (span.active()) {
+    span.AddAttr("rows_in", static_cast<uint64_t>(input.num_rows()));
+    span.AddAttr("partitions", static_cast<uint64_t>(num_partitions));
+  }
   GPIVOT_RETURN_NOT_OK(spec.Validate(input.schema()));
   GPIVOT_ASSIGN_OR_RETURN(Schema output_schema,
                           spec.OutputSchema(input.schema()));
   std::vector<Table> partitions = PartitionRows(input, num_partitions);
   // Local pivots are independent; run them on the pool. Result<Table> has
   // no default state, so slots are optionals filled exactly once each.
+  // The per-partition calls keep ctx's metrics (partition contents — and so
+  // the counters — are scheduling-independent) but drop the tracer: a
+  // worker-thread span could not nest under this one deterministically.
+  ExecContext partition_ctx = ctx;
+  partition_ctx.tracer = nullptr;
   std::vector<std::optional<Result<Table>>> slots(num_partitions);
-  ParallelFor(ctx, num_partitions,
-              [&](size_t p) { slots[p].emplace(GPivot(partitions[p], spec)); });
+  ParallelFor(ctx, num_partitions, [&](size_t p) {
+    slots[p].emplace(GPivot(partitions[p], spec, partition_ctx));
+  });
   std::vector<Table> partials;
   partials.reserve(num_partitions);
   for (std::optional<Result<Table>>& slot : slots) {

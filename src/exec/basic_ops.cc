@@ -3,23 +3,41 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
 namespace gpivot::exec {
 
-Result<Table> Select(const Table& input, const ExprPtr& predicate) {
+namespace {
+
+// Shared per-op accounting: exec.<op>.{calls,rows_in,rows_out}. Counter
+// values depend only on the data, never on scheduling.
+void RecordOp(const ExecContext& ctx, const char* op, size_t rows_in,
+              size_t rows_out) {
+  if (ctx.metrics == nullptr || !ctx.metrics->enabled()) return;
+  ctx.metrics->AddCounter(StrCat("exec.", op, ".calls"));
+  ctx.metrics->AddCounter(StrCat("exec.", op, ".rows_in"), rows_in);
+  ctx.metrics->AddCounter(StrCat("exec.", op, ".rows_out"), rows_out);
+}
+
+}  // namespace
+
+Result<Table> Select(const Table& input, const ExprPtr& predicate,
+                     const ExecContext& ctx) {
   GPIVOT_ASSIGN_OR_RETURN(CompiledExpr compiled,
                           CompileExpr(predicate, input.schema()));
   Table result(input.schema());
   for (const Row& row : input.rows()) {
     if (ValueIsTrue(compiled(row))) result.AddRow(row);
   }
+  RecordOp(ctx, "select", input.num_rows(), result.num_rows());
   return result;
 }
 
 Result<Table> Project(const Table& input,
-                      const std::vector<std::string>& columns) {
+                      const std::vector<std::string>& columns,
+                      const ExecContext& ctx) {
   GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> indices,
                           input.schema().ColumnIndices(columns));
   Table result(input.schema().Select(indices));
@@ -27,6 +45,7 @@ Result<Table> Project(const Table& input,
   for (const Row& row : input.rows()) {
     result.AddRow(ProjectRow(row, indices));
   }
+  RecordOp(ctx, "project", input.num_rows(), result.num_rows());
   return result;
 }
 
@@ -38,7 +57,8 @@ Result<Table> DropColumns(const Table& input,
 
 Result<Table> ProjectExprs(
     const Table& input,
-    const std::vector<std::pair<std::string, ExprPtr>>& outputs) {
+    const std::vector<std::pair<std::string, ExprPtr>>& outputs,
+    const ExecContext& ctx) {
   std::vector<Column> columns;
   std::vector<CompiledExpr> compiled;
   columns.reserve(outputs.size());
@@ -76,6 +96,7 @@ Result<Table> ProjectExprs(
     for (const CompiledExpr& c : compiled) out.push_back(c(row));
     result.AddRow(std::move(out));
   }
+  RecordOp(ctx, "project_exprs", input.num_rows(), result.num_rows());
   return result;
 }
 
@@ -90,7 +111,8 @@ Result<Table> RenameColumns(
   return Table(std::move(schema), input.rows());
 }
 
-Result<Table> UnionAll(const Table& left, const Table& right) {
+Result<Table> UnionAll(const Table& left, const Table& right,
+                       const ExecContext& ctx) {
   if (left.schema() != right.schema()) {
     return Status::InvalidArgument(
         StrCat("UnionAll schema mismatch: ", left.schema().ToString(), " vs ",
@@ -99,10 +121,13 @@ Result<Table> UnionAll(const Table& left, const Table& right) {
   Table result = left;
   result.mutable_rows().insert(result.mutable_rows().end(),
                                right.rows().begin(), right.rows().end());
+  RecordOp(ctx, "union_all", left.num_rows() + right.num_rows(),
+           result.num_rows());
   return result;
 }
 
-Result<Table> BagDifference(const Table& left, const Table& right) {
+Result<Table> BagDifference(const Table& left, const Table& right,
+                            const ExecContext& ctx) {
   if (left.schema() != right.schema()) {
     return Status::InvalidArgument(
         StrCat("BagDifference schema mismatch: ", left.schema().ToString(),
@@ -119,39 +144,46 @@ Result<Table> BagDifference(const Table& left, const Table& right) {
     }
     result.AddRow(row);
   }
+  RecordOp(ctx, "bag_difference", left.num_rows() + right.num_rows(),
+           result.num_rows());
   return result;
 }
 
-Result<Table> Distinct(const Table& input) {
+Result<Table> Distinct(const Table& input, const ExecContext& ctx) {
   std::unordered_set<Row, RowHash, RowEq> seen;
   Table result(input.schema());
   for (const Row& row : input.rows()) {
     if (seen.insert(row).second) result.AddRow(row);
   }
+  RecordOp(ctx, "distinct", input.num_rows(), result.num_rows());
   return result;
 }
 
 Result<Table> SemiJoinKeySet(
     const Table& input, const std::vector<std::string>& key_columns,
-    const std::unordered_set<Row, RowHash, RowEq>& keys) {
+    const std::unordered_set<Row, RowHash, RowEq>& keys,
+    const ExecContext& ctx) {
   GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> indices,
                           input.schema().ColumnIndices(key_columns));
   Table result(input.schema());
   for (const Row& row : input.rows()) {
     if (keys.count(ProjectRow(row, indices)) > 0) result.AddRow(row);
   }
+  RecordOp(ctx, "semi_join_key_set", input.num_rows(), result.num_rows());
   return result;
 }
 
 Result<Table> AntiJoinKeySet(
     const Table& input, const std::vector<std::string>& key_columns,
-    const std::unordered_set<Row, RowHash, RowEq>& keys) {
+    const std::unordered_set<Row, RowHash, RowEq>& keys,
+    const ExecContext& ctx) {
   GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> indices,
                           input.schema().ColumnIndices(key_columns));
   Table result(input.schema());
   for (const Row& row : input.rows()) {
     if (keys.count(ProjectRow(row, indices)) == 0) result.AddRow(row);
   }
+  RecordOp(ctx, "anti_join_key_set", input.num_rows(), result.num_rows());
   return result;
 }
 

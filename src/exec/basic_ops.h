@@ -9,17 +9,25 @@
 #include "expr/expr.h"
 #include "relation/table.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace gpivot::exec {
 
+// The trailing ExecContext parameter (defaulted, so existing call sites are
+// unaffected) only feeds observability: when ctx.metrics is enabled, each
+// op records exec.<op>.{calls,rows_in,rows_out} counters. These ops stay
+// sequential regardless of ctx.num_threads.
+
 // σ: rows of `input` for which `predicate` evaluates to TRUE (SQL
 // three-valued semantics: NULL filters out).
-Result<Table> Select(const Table& input, const ExprPtr& predicate);
+Result<Table> Select(const Table& input, const ExprPtr& predicate,
+                     const ExecContext& ctx = {});
 
 // π (positive): keeps `columns` in the given order. Bag semantics: no
 // duplicate elimination.
 Result<Table> Project(const Table& input,
-                      const std::vector<std::string>& columns);
+                      const std::vector<std::string>& columns,
+                      const ExecContext& ctx = {});
 
 // π¬ (negative project, the paper's column removal): drops `columns`.
 Result<Table> DropColumns(const Table& input,
@@ -28,7 +36,8 @@ Result<Table> DropColumns(const Table& input,
 // Computed projection: each output column is an expression over the input.
 Result<Table> ProjectExprs(
     const Table& input,
-    const std::vector<std::pair<std::string, ExprPtr>>& outputs);
+    const std::vector<std::pair<std::string, ExprPtr>>& outputs,
+    const ExecContext& ctx = {});
 
 // Renames columns: {old_name -> new_name} pairs.
 Result<Table> RenameColumns(
@@ -36,25 +45,29 @@ Result<Table> RenameColumns(
     const std::vector<std::pair<std::string, std::string>>& renames);
 
 // ⊎: bag union. Schemas must be identical.
-Result<Table> UnionAll(const Table& left, const Table& right);
+Result<Table> UnionAll(const Table& left, const Table& right,
+                       const ExecContext& ctx = {});
 
 // ∸: bag difference (each right row cancels at most one equal left row).
-Result<Table> BagDifference(const Table& left, const Table& right);
+Result<Table> BagDifference(const Table& left, const Table& right,
+                            const ExecContext& ctx = {});
 
 // δ: duplicate elimination.
-Result<Table> Distinct(const Table& input);
+Result<Table> Distinct(const Table& input, const ExecContext& ctx = {});
 
 // Rows of `input` whose key at `key_columns` appears in `keys` (a set of
 // projected key rows). Used by maintenance plans to restrict base tables to
 // delta-affected keys.
 Result<Table> SemiJoinKeySet(const Table& input,
                              const std::vector<std::string>& key_columns,
-                             const std::unordered_set<Row, RowHash, RowEq>& keys);
+                             const std::unordered_set<Row, RowHash, RowEq>& keys,
+                             const ExecContext& ctx = {});
 
 // The complement of SemiJoinKeySet.
 Result<Table> AntiJoinKeySet(const Table& input,
                              const std::vector<std::string>& key_columns,
-                             const std::unordered_set<Row, RowHash, RowEq>& keys);
+                             const std::unordered_set<Row, RowHash, RowEq>& keys,
+                             const ExecContext& ctx = {});
 
 // Distinct projected key rows of `input` at `key_columns`.
 Result<std::unordered_set<Row, RowHash, RowEq>> CollectKeySet(

@@ -3,16 +3,21 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace gpivot::exec {
 
-Result<Table> GroupBy(const Table& input,
-                      const std::vector<std::string>& group_columns,
-                      const std::vector<AggSpec>& aggregates,
-                      const ExecContext& ctx) {
+namespace {
+
+// The actual aggregation; the public GroupBy wraps it with instrumentation.
+Result<Table> GroupByImpl(const Table& input,
+                          const std::vector<std::string>& group_columns,
+                          const std::vector<AggSpec>& aggregates,
+                          const ExecContext& ctx) {
   GPIVOT_ASSIGN_OR_RETURN(std::vector<size_t> group_idx,
                           input.schema().ColumnIndices(group_columns));
 
@@ -130,6 +135,30 @@ Result<Table> GroupBy(const Table& input,
   }
   // The group-by columns form a key of the output.
   GPIVOT_RETURN_NOT_OK(result.SetKey(group_columns));
+  return result;
+}
+
+}  // namespace
+
+Result<Table> GroupBy(const Table& input,
+                      const std::vector<std::string>& group_columns,
+                      const std::vector<AggSpec>& aggregates,
+                      const ExecContext& ctx) {
+  obs::ScopedSpan span = obs::TraceEnabled(ctx.tracer)
+                             ? obs::ScopedSpan(ctx.tracer, "GroupBy")
+                             : obs::ScopedSpan();
+  obs::ScopedLatency latency(ctx.metrics, "exec.group_by.ms");
+  GPIVOT_ASSIGN_OR_RETURN(Table result,
+                          GroupByImpl(input, group_columns, aggregates, ctx));
+  if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
+    ctx.metrics->AddCounter("exec.group_by.calls");
+    ctx.metrics->AddCounter("exec.group_by.rows_in", input.num_rows());
+    ctx.metrics->AddCounter("exec.group_by.groups_out", result.num_rows());
+  }
+  if (span.active()) {
+    span.AddAttr("rows_in", static_cast<uint64_t>(input.num_rows()));
+    span.AddAttr("groups_out", static_cast<uint64_t>(result.num_rows()));
+  }
   return result;
 }
 

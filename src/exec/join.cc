@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -50,10 +52,9 @@ Table ConcatChunks(Schema schema, std::vector<std::vector<Row>> chunk_rows) {
   return result;
 }
 
-}  // namespace
-
-Result<Table> HashJoin(const Table& left, const Table& right,
-                       const JoinSpec& spec, const ExecContext& ctx) {
+// The actual join; the public HashJoin wraps it with instrumentation.
+Result<Table> HashJoinImpl(const Table& left, const Table& right,
+                           const JoinSpec& spec, const ExecContext& ctx) {
   if (spec.left_keys.size() != spec.right_keys.size()) {
     return Status::InvalidArgument("HashJoin: key lists differ in length");
   }
@@ -225,6 +226,36 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     }
   }
 
+  return result;
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const JoinSpec& spec, const ExecContext& ctx) {
+  obs::ScopedSpan span = obs::TraceEnabled(ctx.tracer)
+                             ? obs::ScopedSpan(ctx.tracer, "HashJoin")
+                             : obs::ScopedSpan();
+  obs::ScopedLatency latency(ctx.metrics, "exec.join.ms");
+  GPIVOT_ASSIGN_OR_RETURN(Table result, HashJoinImpl(left, right, spec, ctx));
+  // Build/probe sizes mirror HashJoinImpl's side choice: inner joins build
+  // on the smaller side, every other type builds on the right.
+  bool inner_build_left = spec.type == JoinType::kInner &&
+                          left.num_rows() < right.num_rows();
+  size_t build_rows = inner_build_left ? left.num_rows() : right.num_rows();
+  size_t probe_rows = inner_build_left ? right.num_rows() : left.num_rows();
+  if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
+    ctx.metrics->AddCounter("exec.join.calls");
+    ctx.metrics->AddCounter("exec.join.build_rows", build_rows);
+    ctx.metrics->AddCounter("exec.join.probe_rows", probe_rows);
+    ctx.metrics->AddCounter("exec.join.rows_out", result.num_rows());
+  }
+  if (span.active()) {
+    span.AddAttr("type", JoinTypeToString(spec.type));
+    span.AddAttr("build_rows", static_cast<uint64_t>(build_rows));
+    span.AddAttr("probe_rows", static_cast<uint64_t>(probe_rows));
+    span.AddAttr("rows_out", static_cast<uint64_t>(result.num_rows()));
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/string_util.h"
@@ -262,7 +263,8 @@ void UndoLog::Rollback(MaterializedView* view) {
 }
 
 Status ExecuteMergePlan(MaterializedView* view, const MergePlan& plan,
-                        UndoLog* undo) {
+                        UndoLog* undo, const ExecContext& ctx) {
+  uint64_t inserts = 0, updates = 0, deletes = 0;
   const size_t mid = (plan.records.size() + 1) / 2;
   for (size_t i = 0; i < plan.records.size(); ++i) {
     if (i == mid) GPIVOT_FAULT_POINT("ExecuteMergePlan::mid-commit");
@@ -277,13 +279,21 @@ Status ExecuteMergePlan(MaterializedView* view, const MergePlan& plan,
     if (!record.before.has_value()) {
       GPIVOT_RETURN_NOT_OK(view->Insert(*record.after));
       undo->RecordInsert();
+      ++inserts;
     } else if (record.after.has_value()) {
       undo->RecordUpdate(*position, view->RowAt(*position));
       view->Update(*position, *record.after);
+      ++updates;
     } else {
       undo->RecordDelete(*position, view->RowAt(*position));
       view->Delete(*position);
+      ++deletes;
     }
+  }
+  if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
+    ctx.metrics->AddCounter("ivm.merge.inserts", inserts);
+    ctx.metrics->AddCounter("ivm.merge.updates", updates);
+    ctx.metrics->AddCounter("ivm.merge.deletes", deletes);
   }
   return Status::OK();
 }

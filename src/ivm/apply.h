@@ -11,6 +11,7 @@
 #include "relation/key_index.h"
 #include "relation/table.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace gpivot::ivm {
 
@@ -151,8 +152,9 @@ class UndoLog {
 // Applies a staged plan, appending each performed mutation to `undo`. Fails
 // only on an injected fault or when the view no longer matches the plan's
 // `before` snapshots (Internal); the caller rolls back via `undo`.
+// ctx.metrics (when enabled) receives ivm.merge.{inserts,updates,deletes}.
 Status ExecuteMergePlan(MaterializedView* view, const MergePlan& plan,
-                        UndoLog* undo);
+                        UndoLog* undo, const ExecContext& ctx = {});
 
 // Staging halves of the §6/§7 apply rules. Each reads `view` without
 // mutating it and returns the epoch's MergePlan, or a descriptive error when

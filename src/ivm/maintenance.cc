@@ -3,6 +3,7 @@
 #include "core/gpivot.h"
 #include "exec/basic_ops.h"
 #include "exec/group_by.h"
+#include "obs/metrics.h"
 #include "rewrite/rewriter.h"
 #include "rewrite/rules.h"
 #include "util/check.h"
@@ -377,6 +378,7 @@ Result<StagedRefresh> MaintenancePlan::Stage(const Catalog& pre_catalog,
                                              const MaterializedView& view,
                                              const ExecContext& ctx) const {
   GPIVOT_FAULT_POINT("MaintenancePlan::Stage");
+  obs::ScopedLatency latency(ctx.metrics, "ivm.stage.ms");
   DeltaPropagator propagator(&pre_catalog, &deltas, ctx);
   StagedRefresh staged;
   switch (strategy_) {
@@ -416,15 +418,19 @@ Result<StagedRefresh> MaintenancePlan::Stage(const Catalog& pre_catalog,
 }
 
 Status MaintenancePlan::CommitStaged(StagedRefresh staged,
-                                     MaterializedView* view, UndoLog* undo) {
+                                     MaterializedView* view, UndoLog* undo,
+                                     const ExecContext& ctx) {
   if (staged.rebuild.has_value()) {
     MaterializedView old = std::move(*view);
     *view = std::move(*staged.rebuild);
     undo->RecordRebuild(std::move(old));
+    if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
+      ctx.metrics->AddCounter("ivm.merge.rebuilds");
+    }
     return Status::OK();
   }
   GPIVOT_CHECK(staged.merge.has_value()) << "empty staged refresh";
-  return ExecuteMergePlan(view, *staged.merge, undo);
+  return ExecuteMergePlan(view, *staged.merge, undo, ctx);
 }
 
 Status MaintenancePlan::Refresh(const Catalog& pre_catalog,
@@ -434,7 +440,7 @@ Status MaintenancePlan::Refresh(const Catalog& pre_catalog,
   GPIVOT_ASSIGN_OR_RETURN(StagedRefresh staged,
                           Stage(pre_catalog, deltas, *view, ctx));
   UndoLog undo;
-  Status st = CommitStaged(std::move(staged), view, &undo);
+  Status st = CommitStaged(std::move(staged), view, &undo, ctx);
   if (!st.ok()) undo.Rollback(view);
   return st;
 }
@@ -458,10 +464,12 @@ Result<MergePlan> MaintenancePlan::StagePivotUpdateRefresh(
   GPIVOT_CHECK(layout_.has_value()) << "missing layout";
   GPIVOT_ASSIGN_OR_RETURN(Delta child_delta,
                           propagator->Propagate(pivot_child_));
-  GPIVOT_ASSIGN_OR_RETURN(Table pivoted_ins,
-                          GPivot(child_delta.inserts, layout_->spec));
-  GPIVOT_ASSIGN_OR_RETURN(Table pivoted_del,
-                          GPivot(child_delta.deletes, layout_->spec));
+  GPIVOT_ASSIGN_OR_RETURN(
+      Table pivoted_ins,
+      GPivot(child_delta.inserts, layout_->spec, propagator->exec_context()));
+  GPIVOT_ASSIGN_OR_RETURN(
+      Table pivoted_del,
+      GPivot(child_delta.deletes, layout_->spec, propagator->exec_context()));
   return StagePivotUpdate(view, *layout_,
                           Delta{std::move(pivoted_ins),
                                 std::move(pivoted_del)});
@@ -483,8 +491,12 @@ Result<MergePlan> MaintenancePlan::StageCombinedGroupByRefresh(
       Table agg_del, exec::GroupBy(child_delta.deletes, group_columns_,
                                    group_aggregates_,
                                    propagator->exec_context()));
-  GPIVOT_ASSIGN_OR_RETURN(Table pivoted_ins, GPivot(agg_ins, layout_->spec));
-  GPIVOT_ASSIGN_OR_RETURN(Table pivoted_del, GPivot(agg_del, layout_->spec));
+  GPIVOT_ASSIGN_OR_RETURN(
+      Table pivoted_ins,
+      GPivot(agg_ins, layout_->spec, propagator->exec_context()));
+  GPIVOT_ASSIGN_OR_RETURN(
+      Table pivoted_del,
+      GPivot(agg_del, layout_->spec, propagator->exec_context()));
   return StagePivotGroupByUpdate(view, *layout_, *agg_layout_,
                                  Delta{std::move(pivoted_ins),
                                        std::move(pivoted_del)});
@@ -496,10 +508,12 @@ Result<MergePlan> MaintenancePlan::StageCombinedSelectRefresh(
   const PivotSpec& spec = layout_->spec;
   GPIVOT_ASSIGN_OR_RETURN(Delta child_delta,
                           propagator->Propagate(pivot_child_));
-  GPIVOT_ASSIGN_OR_RETURN(Table pivoted_ins,
-                          GPivot(child_delta.inserts, spec));
-  GPIVOT_ASSIGN_OR_RETURN(Table pivoted_del,
-                          GPivot(child_delta.deletes, spec));
+  GPIVOT_ASSIGN_OR_RETURN(
+      Table pivoted_ins,
+      GPivot(child_delta.inserts, spec, propagator->exec_context()));
+  GPIVOT_ASSIGN_OR_RETURN(
+      Table pivoted_del,
+      GPivot(child_delta.deletes, spec, propagator->exec_context()));
 
   // Recompute term (insert case, Fig. 29): keys touched by σ-relevant
   // inserts, re-pivoted from the post-state input.
@@ -521,7 +535,8 @@ Result<MergePlan> MaintenancePlan::StageCombinedSelectRefresh(
     }
     GPIVOT_ASSIGN_OR_RETURN(
         Table relevant,
-        exec::Select(child_delta.inserts, Or(std::move(combo_preds))));
+        exec::Select(child_delta.inserts, Or(std::move(combo_preds)),
+                     propagator->exec_context()));
     if (!relevant.empty()) {
       GPIVOT_ASSIGN_OR_RETURN(auto keys,
                               exec::CollectKeySet(relevant, key_names));
@@ -530,10 +545,13 @@ Result<MergePlan> MaintenancePlan::StageCombinedSelectRefresh(
           EvaluatePostRestricted(propagator, pivot_child_, key_names, keys));
       // The pushed-down restriction may be on a key subset; apply the exact
       // key filter before pivoting.
-      GPIVOT_ASSIGN_OR_RETURN(affected,
-                              exec::SemiJoinKeySet(affected, key_names, keys));
+      GPIVOT_ASSIGN_OR_RETURN(
+          affected, exec::SemiJoinKeySet(affected, key_names, keys,
+                                         propagator->exec_context()));
       GPIVOT_RETURN_NOT_OK(affected.SetKey({}));
-      GPIVOT_ASSIGN_OR_RETURN(recompute_candidates, GPivot(affected, spec));
+      GPIVOT_ASSIGN_OR_RETURN(
+          recompute_candidates,
+          GPivot(affected, spec, propagator->exec_context()));
     }
   }
 

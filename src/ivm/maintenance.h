@@ -76,8 +76,9 @@ class MaintenancePlan {
 
   // Applies a staged refresh, recording every mutation in `undo` so a
   // failure later in the same epoch can roll `view` back byte-identically.
+  // `ctx` only feeds observability (ivm.merge.* counters).
   static Status CommitStaged(StagedRefresh staged, MaterializedView* view,
-                             UndoLog* undo);
+                             UndoLog* undo, const ExecContext& ctx = {});
 
   // Stage + commit in one step (single-view, no cross-view atomicity). On
   // failure the view is unchanged.

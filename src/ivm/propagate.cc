@@ -6,6 +6,8 @@
 #include "exec/basic_ops.h"
 #include "exec/group_by.h"
 #include "exec/join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rewrite/rules.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
@@ -92,7 +94,25 @@ Result<Delta> DeltaPropagator::Propagate(const PlanPtr& plan) {
     GPIVOT_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema());
     return Delta::Empty(schema);
   }
-  return PropagateImpl(plan);
+  obs::ScopedSpan span =
+      obs::TraceEnabled(ctx_.tracer)
+          ? obs::ScopedSpan(
+                ctx_.tracer,
+                StrCat("propagate:", PlanKindToString(plan->kind())))
+          : obs::ScopedSpan();
+  GPIVOT_ASSIGN_OR_RETURN(Delta delta, PropagateImpl(plan));
+  if (ctx_.metrics != nullptr && ctx_.metrics->enabled()) {
+    ctx_.metrics->AddCounter("ivm.propagate.calls");
+    ctx_.metrics->AddCounter("ivm.propagate.insert_rows",
+                             delta.inserts.num_rows());
+    ctx_.metrics->AddCounter("ivm.propagate.delete_rows",
+                             delta.deletes.num_rows());
+  }
+  if (span.active()) {
+    span.AddAttr("insert_rows", static_cast<uint64_t>(delta.inserts.num_rows()));
+    span.AddAttr("delete_rows", static_cast<uint64_t>(delta.deletes.num_rows()));
+  }
+  return delta;
 }
 
 Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
@@ -112,10 +132,10 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
       // σ: Δσ(V) = σ(ΔV), ∇σ(V) = σ(∇V).
       const auto* node = static_cast<const SelectNode*>(plan.get());
       GPIVOT_ASSIGN_OR_RETURN(Delta child, Propagate(node->child()));
-      GPIVOT_ASSIGN_OR_RETURN(Table ins,
-                              exec::Select(child.inserts, node->predicate()));
-      GPIVOT_ASSIGN_OR_RETURN(Table del,
-                              exec::Select(child.deletes, node->predicate()));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table ins, exec::Select(child.inserts, node->predicate(), ctx_));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table del, exec::Select(child.deletes, node->predicate(), ctx_));
       return Delta{std::move(ins), std::move(del)};
     }
 
@@ -124,20 +144,20 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
       GPIVOT_ASSIGN_OR_RETURN(Delta child, Propagate(node->child()));
       GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> kept,
                               node->KeptColumns());
-      GPIVOT_ASSIGN_OR_RETURN(Table ins, exec::Project(child.inserts, kept));
-      GPIVOT_ASSIGN_OR_RETURN(Table del, exec::Project(child.deletes, kept));
+      GPIVOT_ASSIGN_OR_RETURN(Table ins,
+                              exec::Project(child.inserts, kept, ctx_));
+      GPIVOT_ASSIGN_OR_RETURN(Table del,
+                              exec::Project(child.deletes, kept, ctx_));
       return Delta{std::move(ins), std::move(del)};
     }
 
     case PlanKind::kMap: {
       const auto* node = static_cast<const MapNode*>(plan.get());
       GPIVOT_ASSIGN_OR_RETURN(Delta child, Propagate(node->child()));
-      GPIVOT_ASSIGN_OR_RETURN(Table ins,
-                              exec::ProjectExprs(child.inserts,
-                                                 node->outputs()));
-      GPIVOT_ASSIGN_OR_RETURN(Table del,
-                              exec::ProjectExprs(child.deletes,
-                                                 node->outputs()));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table ins, exec::ProjectExprs(child.inserts, node->outputs(), ctx_));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table del, exec::ProjectExprs(child.deletes, node->outputs(), ctx_));
       return Delta{std::move(ins), std::move(del)};
     }
 
@@ -185,19 +205,19 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
 
       GPIVOT_ASSIGN_OR_RETURN(Table del1,
                               exec::HashJoin(left.deletes, *right_pre, spec, ctx_));
-      GPIVOT_ASSIGN_OR_RETURN(Table left_mid,
-                              exec::BagDifference(*left_pre, left.deletes));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table left_mid, exec::BagDifference(*left_pre, left.deletes, ctx_));
       GPIVOT_ASSIGN_OR_RETURN(Table del2,
                               exec::HashJoin(left_mid, right.deletes, spec, ctx_));
-      GPIVOT_ASSIGN_OR_RETURN(Table del, exec::UnionAll(del1, del2));
+      GPIVOT_ASSIGN_OR_RETURN(Table del, exec::UnionAll(del1, del2, ctx_));
 
       GPIVOT_ASSIGN_OR_RETURN(Table ins1,
                               exec::HashJoin(left.inserts, *right_post, spec, ctx_));
-      GPIVOT_ASSIGN_OR_RETURN(Table left_rest,
-                              exec::BagDifference(*left_post, left.inserts));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table left_rest, exec::BagDifference(*left_post, left.inserts, ctx_));
       GPIVOT_ASSIGN_OR_RETURN(Table ins2,
                               exec::HashJoin(left_rest, right.inserts, spec, ctx_));
-      GPIVOT_ASSIGN_OR_RETURN(Table ins, exec::UnionAll(ins1, ins2));
+      GPIVOT_ASSIGN_OR_RETURN(Table ins, exec::UnionAll(ins1, ins2, ctx_));
       return Delta{std::move(ins), std::move(del)};
     }
 
@@ -219,7 +239,7 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
       GPIVOT_ASSIGN_OR_RETURN(auto pre, EvaluatePreRef(node->child()));
       GPIVOT_ASSIGN_OR_RETURN(
           Table pre_affected,
-          exec::SemiJoinKeySet(*pre, node->group_columns(), affected));
+          exec::SemiJoinKeySet(*pre, node->group_columns(), affected, ctx_));
       GPIVOT_ASSIGN_OR_RETURN(
           Table del, exec::GroupBy(pre_affected, node->group_columns(),
                                    node->aggregates(), ctx_));
@@ -227,7 +247,7 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
       GPIVOT_ASSIGN_OR_RETURN(auto post, EvaluatePostRef(node->child()));
       GPIVOT_ASSIGN_OR_RETURN(
           Table post_affected,
-          exec::SemiJoinKeySet(*post, node->group_columns(), affected));
+          exec::SemiJoinKeySet(*post, node->group_columns(), affected, ctx_));
       GPIVOT_ASSIGN_OR_RETURN(
           Table ins, exec::GroupBy(post_affected, node->group_columns(),
                                    node->aggregates(), ctx_));
@@ -257,9 +277,9 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
       if (!spec.keep_all_null_rows) {
         ExprPtr listed = rewrite::ComboDisjunction(spec);
         GPIVOT_ASSIGN_OR_RETURN(ins_listed,
-                                exec::Select(child.inserts, listed));
+                                exec::Select(child.inserts, listed, ctx_));
         GPIVOT_ASSIGN_OR_RETURN(del_listed,
-                                exec::Select(child.deletes, listed));
+                                exec::Select(child.deletes, listed, ctx_));
       }
       GPIVOT_ASSIGN_OR_RETURN(auto affected,
                               exec::CollectKeySet(ins_listed, key_names));
@@ -268,15 +288,16 @@ Result<Delta> DeltaPropagator::PropagateImpl(const PlanPtr& plan) {
       for (const Row& key : affected2) affected.insert(key);
 
       GPIVOT_ASSIGN_OR_RETURN(auto pre, EvaluatePreRef(node->child()));
-      GPIVOT_ASSIGN_OR_RETURN(Table pre_affected,
-                              exec::SemiJoinKeySet(*pre, key_names, affected));
-      GPIVOT_ASSIGN_OR_RETURN(Table del, GPivot(pre_affected, spec));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table pre_affected,
+          exec::SemiJoinKeySet(*pre, key_names, affected, ctx_));
+      GPIVOT_ASSIGN_OR_RETURN(Table del, GPivot(pre_affected, spec, ctx_));
 
       GPIVOT_ASSIGN_OR_RETURN(auto post, EvaluatePostRef(node->child()));
-      GPIVOT_ASSIGN_OR_RETURN(Table post_affected,
-                              exec::SemiJoinKeySet(*post, key_names,
-                                                   affected));
-      GPIVOT_ASSIGN_OR_RETURN(Table ins, GPivot(post_affected, spec));
+      GPIVOT_ASSIGN_OR_RETURN(
+          Table post_affected,
+          exec::SemiJoinKeySet(*post, key_names, affected, ctx_));
+      GPIVOT_ASSIGN_OR_RETURN(Table ins, GPivot(post_affected, spec, ctx_));
       GPIVOT_RETURN_NOT_OK(ins.SetKey({}));
       GPIVOT_RETURN_NOT_OK(del.SetKey({}));
       return Delta{std::move(ins), std::move(del)};

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/string_util.h"
@@ -21,6 +23,7 @@ Status ViewManager::DefineView(const std::string& name, PlanPtr query,
   GPIVOT_ASSIGN_OR_RETURN(MaterializedView view,
                           MaterializedView::Create(std::move(initial)));
   views_.emplace(name, ViewState{std::move(plan), std::move(view)});
+  view_order_.push_back(name);
   return Status::OK();
 }
 
@@ -79,6 +82,11 @@ Status ViewManager::ValidateDeltas(const SourceDeltas& deltas) const {
 
 Status ViewManager::ApplyUpdate(const SourceDeltas& deltas) {
   GPIVOT_RETURN_NOT_OK(ValidateDeltas(deltas));
+  obs::ScopedSpan epoch_span =
+      obs::TraceEnabled(exec_context_.tracer)
+          ? obs::ScopedSpan(exec_context_.tracer, "epoch")
+          : obs::ScopedSpan();
+  obs::ScopedLatency latency(exec_context_.metrics, "ivm.epoch.ms");
   EpochUndo undo;
   Status st = RefreshViewsInternal(deltas, &undo);
   if (st.ok()) st = AdvanceBaseInternal(deltas, &undo);
@@ -91,6 +99,11 @@ Status ViewManager::ApplyUpdate(const SourceDeltas& deltas) {
 
 Status ViewManager::RefreshViews(const SourceDeltas& deltas) {
   GPIVOT_RETURN_NOT_OK(ValidateDeltas(deltas));
+  obs::ScopedSpan epoch_span =
+      obs::TraceEnabled(exec_context_.tracer)
+          ? obs::ScopedSpan(exec_context_.tracer, "epoch")
+          : obs::ScopedSpan();
+  obs::ScopedLatency latency(exec_context_.metrics, "ivm.epoch.ms");
   EpochUndo undo;
   Status st = RefreshViewsInternal(deltas, &undo);
   if (!st.ok()) RollbackEpoch(&undo);
@@ -99,6 +112,11 @@ Status ViewManager::RefreshViews(const SourceDeltas& deltas) {
 
 Status ViewManager::AdvanceBase(const SourceDeltas& deltas) {
   GPIVOT_RETURN_NOT_OK(ValidateDeltas(deltas));
+  obs::ScopedSpan epoch_span =
+      obs::TraceEnabled(exec_context_.tracer)
+          ? obs::ScopedSpan(exec_context_.tracer, "epoch")
+          : obs::ScopedSpan();
+  obs::ScopedLatency latency(exec_context_.metrics, "ivm.epoch.ms");
   EpochUndo undo;
   Status st = AdvanceBaseInternal(deltas, &undo);
   if (!st.ok()) RollbackEpoch(&undo);
@@ -113,35 +131,66 @@ Status ViewManager::RefreshViewsInternal(const SourceDeltas& deltas,
   // own view), so they stage concurrently — one task per view. Each slot is
   // written by exactly one task; the first failure in view-list order wins,
   // so the reported error doesn't depend on scheduling.
-  std::vector<ViewState*> states;
-  states.reserve(views_.size());
-  for (auto& [name, state] : views_) states.push_back(&state);
+  std::vector<std::pair<const std::string*, ViewState*>> states;
+  states.reserve(view_order_.size());
+  for (const std::string& name : view_order_) {
+    states.emplace_back(&name, &views_.at(name));
+  }
   std::vector<std::optional<Result<StagedRefresh>>> slots(states.size());
-  ParallelFor(exec_context_, states.size(), [&](size_t i) {
-    slots[i].emplace(
-        states[i]->plan.Stage(catalog_, deltas, states[i]->view,
-                              exec_context_));
-  });
-  std::vector<std::pair<ViewState*, StagedRefresh>> staged;
+  {
+    obs::ScopedSpan stage_span =
+        obs::TraceEnabled(exec_context_.tracer)
+            ? obs::ScopedSpan(exec_context_.tracer, "stage")
+            : obs::ScopedSpan();
+    ParallelFor(exec_context_, states.size(), [&](size_t i) {
+      // Worker threads carry no thread-local span context, so the per-view
+      // span names its parent and position explicitly — the exported tree is
+      // identical for every thread count.
+      obs::ScopedSpan view_span =
+          obs::TraceEnabled(exec_context_.tracer)
+              ? obs::ScopedSpan(exec_context_.tracer,
+                                StrCat("stage:", *states[i].first),
+                                stage_span.id(), static_cast<int64_t>(i))
+              : obs::ScopedSpan();
+      slots[i].emplace(states[i].second->plan.Stage(
+          catalog_, deltas, states[i].second->view, exec_context_));
+    });
+  }
+  std::vector<std::tuple<const std::string*, ViewState*, StagedRefresh>>
+      staged;
   staged.reserve(states.size());
   for (size_t i = 0; i < states.size(); ++i) {
     GPIVOT_ASSIGN_OR_RETURN(StagedRefresh refresh, std::move(*slots[i]));
-    staged.emplace_back(states[i], std::move(refresh));
+    staged.emplace_back(states[i].first, states[i].second, std::move(refresh));
   }
   // Commit phase: apply each view's merge, logging every mutation so a
   // failure here (or later in the epoch) rolls everything back. Stays
   // serial — the undo log's "reverse commit order" rollback depends on it.
-  for (auto& [state, refresh] : staged) {
+  obs::ScopedSpan commit_span =
+      obs::TraceEnabled(exec_context_.tracer)
+          ? obs::ScopedSpan(exec_context_.tracer, "commit")
+          : obs::ScopedSpan();
+  for (auto& [name, state, refresh] : staged) {
     GPIVOT_FAULT_POINT("ViewManager::CommitView");
+    obs::ScopedSpan view_span =
+        obs::TraceEnabled(exec_context_.tracer)
+            ? obs::ScopedSpan(exec_context_.tracer, StrCat("commit:", *name))
+            : obs::ScopedSpan();
     undo->views.emplace_back(state, UndoLog());
     GPIVOT_RETURN_NOT_OK(MaintenancePlan::CommitStaged(
-        std::move(refresh), &state->view, &undo->views.back().second));
+        std::move(refresh), &state->view, &undo->views.back().second,
+        exec_context_));
   }
   return Status::OK();
 }
 
 Status ViewManager::AdvanceBaseInternal(const SourceDeltas& deltas,
                                         EpochUndo* undo) {
+  obs::ScopedSpan span =
+      obs::TraceEnabled(exec_context_.tracer)
+          ? obs::ScopedSpan(exec_context_.tracer, "advance")
+          : obs::ScopedSpan();
+  size_t tables = 0, insert_rows = 0, delete_rows = 0;
   for (const auto& [table_name, delta] : deltas) {
     GPIVOT_FAULT_POINT("ViewManager::AdvanceTable");
     if (!catalog_.HasTable(table_name)) {
@@ -152,12 +201,29 @@ Status ViewManager::AdvanceBaseInternal(const SourceDeltas& deltas,
     undo->tables.emplace_back(table_name, TableUndo{});
     GPIVOT_RETURN_NOT_OK(
         ApplyDeltaToTableWithUndo(table, delta, &undo->tables.back().second));
+    ++tables;
+    insert_rows += delta.inserts.num_rows();
+    delete_rows += delta.deletes.num_rows();
   }
   GPIVOT_FAULT_POINT("ViewManager::EpochEnd");
+  // Counted only once everything advanced: a rolled-back epoch contributes
+  // nothing, so counter values match the state the caller observes.
+  if (exec_context_.metrics != nullptr && exec_context_.metrics->enabled()) {
+    exec_context_.metrics->AddCounter("ivm.advance.tables", tables);
+    exec_context_.metrics->AddCounter("ivm.advance.insert_rows", insert_rows);
+    exec_context_.metrics->AddCounter("ivm.advance.delete_rows", delete_rows);
+  }
   return Status::OK();
 }
 
 void ViewManager::RollbackEpoch(EpochUndo* undo) {
+  obs::ScopedSpan span =
+      obs::TraceEnabled(exec_context_.tracer)
+          ? obs::ScopedSpan(exec_context_.tracer, "rollback")
+          : obs::ScopedSpan();
+  if (exec_context_.metrics != nullptr && exec_context_.metrics->enabled()) {
+    exec_context_.metrics->AddCounter("ivm.epoch.rollbacks");
+  }
   // Undo in reverse commit order: base tables first, then views.
   for (auto it = undo->tables.rbegin(); it != undo->tables.rend(); ++it) {
     RollbackTable(catalog_.GetMutableTable(it->first), &it->second);
@@ -170,7 +236,8 @@ void ViewManager::RollbackEpoch(EpochUndo* undo) {
 }
 
 Status ViewManager::Audit() const {
-  for (const auto& [name, state] : views_) {
+  for (const std::string& name : view_order_) {
+    const ViewState& state = views_.at(name);
     GPIVOT_RETURN_NOT_OK(state.view.ValidateIntegrity());
     GPIVOT_ASSIGN_OR_RETURN(Table recomputed,
                             Evaluate(state.plan.effective_query(),

@@ -99,6 +99,10 @@ class ViewManager {
 
   Catalog catalog_;
   std::unordered_map<std::string, ViewState> views_;
+  // Definition order; epochs stage/commit (and the auditor walks) views in
+  // this order so error precedence and trace output never depend on hash
+  // iteration.
+  std::vector<std::string> view_order_;
   ExecContext exec_context_;
 };
 

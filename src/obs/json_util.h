@@ -1,0 +1,21 @@
+#ifndef GPIVOT_OBS_JSON_UTIL_H_
+#define GPIVOT_OBS_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace gpivot::obs {
+
+// Returns `s` as a quoted JSON string literal: wrapped in double quotes
+// with ", \, and control characters escaped.
+std::string JsonQuote(std::string_view s);
+
+// Strict validity check for a complete JSON document (one value spanning
+// the whole input, modulo whitespace). A minimal recursive-descent parser —
+// enough for tests and CI to assert that exported trace/metrics files are
+// well-formed without pulling in a JSON library.
+bool IsValidJson(std::string_view s);
+
+}  // namespace gpivot::obs
+
+#endif  // GPIVOT_OBS_JSON_UTIL_H_

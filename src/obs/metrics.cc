@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/json_util.h"
+
+namespace gpivot::obs {
+
+namespace {
+
+// Maps (registry id -> shard) for the calling thread. Keyed by a
+// process-unique id rather than by pointer so that a stale entry for a
+// destroyed registry can never alias a newly constructed one.
+thread_local std::unordered_map<uint64_t, void*> t_shards;
+
+uint64_t NextRegistryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+size_t HistogramData::BucketIndex(double ms) {
+  if (!(ms > 0.0)) return 0;
+  int exponent = static_cast<int>(std::floor(std::log2(ms))) + kBucketBias;
+  if (exponent < 0) return 0;
+  if (exponent >= static_cast<int>(kNumBuckets)) return kNumBuckets - 1;
+  return static_cast<size_t>(exponent);
+}
+
+void HistogramData::Record(double ms) {
+  if (count == 0 || ms < min_ms) min_ms = ms;
+  if (count == 0 || ms > max_ms) max_ms = ms;
+  ++count;
+  total_ms += ms;
+  ++buckets[BucketIndex(ms)];
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min_ms < min_ms) min_ms = other.min_ms;
+  if (count == 0 || other.max_ms > max_ms) max_ms = other.max_ms;
+  count += other.count;
+  total_ms += other.total_ms;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out << name << " count=" << h.count << " total_ms=" << h.total_ms
+        << " mean_ms=" << h.mean_ms() << " min_ms=" << h.min_ms
+        << " max_ms=" << h.max_ms << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  const std::string pad(indent, ' ');
+  std::ostringstream out;
+  out << "{\n" << pad << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n" : ",\n") << pad << "    " << JsonQuote(name) << ": "
+        << value;
+    first = false;
+  }
+  if (!first) out << "\n" << pad << "  ";
+  out << "},\n" << pad << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "\n" : ",\n") << pad << "    " << JsonQuote(name)
+        << ": {\"count\": " << h.count << ", \"total_ms\": " << h.total_ms
+        << ", \"mean_ms\": " << h.mean_ms() << ", \"min_ms\": " << h.min_ms
+        << ", \"max_ms\": " << h.max_ms << "}";
+    first = false;
+  }
+  if (!first) out << "\n" << pad << "  ";
+  out << "}\n" << pad << "}";
+  return out.str();
+}
+
+struct MetricsRegistry::Shard {
+  std::mutex mu;  // uncontended except while a Snapshot/Reset runs
+  std::unordered_map<std::string, uint64_t> counters;
+  std::unordered_map<std::string, HistogramData> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : id_(NextRegistryId()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked: worker threads of the (also leaked) global ThreadPool may
+  // record into it during static destruction.
+  static MetricsRegistry* const kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
+  auto it = t_shards.find(id_);
+  if (it != t_shards.end()) return static_cast<Shard*>(it->second);
+  auto shard = std::make_unique<Shard>();
+  Shard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(shard));
+  }
+  t_shards.emplace(id_, raw);
+  return raw;
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta) {
+  if (!enabled()) return;
+  Shard* shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->counters[std::string(name)] += delta;
+}
+
+void MetricsRegistry::RecordLatency(std::string_view name, double ms) {
+  if (!enabled()) return;
+  Shard* shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->histograms[std::string(name)].Record(ms);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, value] : shard->counters) {
+      snapshot.counters[name] += value;
+    }
+    for (const auto& [name, h] : shard->histograms) {
+      snapshot.histograms[name].Merge(h);
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->counters.clear();
+    shard->histograms.clear();
+  }
+}
+
+MetricsRegistry* MetricsFromEnv() {
+  static MetricsRegistry* const kFromEnv = []() -> MetricsRegistry* {
+    const char* value = std::getenv("GPIVOT_METRICS");
+    if (value == nullptr || value[0] == '\0' ||
+        (value[0] == '0' && value[1] == '\0')) {
+      return nullptr;
+    }
+    MetricsRegistry::Global().set_enabled(true);
+    return &MetricsRegistry::Global();
+  }();
+  return kFromEnv;
+}
+
+}  // namespace gpivot::obs

@@ -1,0 +1,154 @@
+#ifndef GPIVOT_OBS_TRACE_H_
+#define GPIVOT_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gpivot::obs {
+
+// Span handle. 0 means "no span".
+using SpanId = uint64_t;
+
+// One recorded span: a named, timed region with key/value attributes,
+// nested under a parent span.
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = -1.0;  // -1 until EndSpan
+  // Explicit sibling sort key for spans created by parallel fan-out, where
+  // creation order is scheduling-dependent; -1 = order by creation (id).
+  int64_t order = -1;
+  uint64_t tid = 0;  // small per-tracer thread number, for Chrome tracks
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+// Collects nested spans and renders them as Chrome chrome://tracing JSON
+// (load via chrome://tracing or https://ui.perfetto.dev) or as a
+// structure-only text tree.
+//
+// Nesting: each thread tracks its innermost open span; a new span parents
+// to it unless an explicit parent is passed (used when a child span starts
+// on a different thread than its logical parent, e.g. per-view staging
+// inside ParallelFor). Sibling order in the text tree is deterministic:
+// explicit `order` keys first, then creation order — cross-thread siblings
+// always carry explicit orders, same-thread siblings are created
+// sequentially.
+//
+// Disabled tracers (the default) make ScopedSpan construction a pointer
+// check; no clock reads, no allocation, no locking.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Process-wide tracer, enabled via set_enabled or GPIVOT_TRACE_DIR (see
+  // TracerFromEnv). Leaked, like ThreadPool::Global().
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // Low-level span API; prefer ScopedSpan. `parent` 0 means "the calling
+  // thread's innermost open span" (root if none).
+  SpanId BeginSpan(std::string name, SpanId parent = 0, int64_t order = -1);
+  void EndSpan(SpanId id);
+  void AddAttr(SpanId id, std::string_view key, std::string_view value);
+
+  // The calling thread's innermost open span (maintained by ScopedSpan).
+  SpanId CurrentSpan() const;
+  void SetCurrentSpan(SpanId id);
+
+  // {"traceEvents": [...]} with one complete ("ph":"X") event per span.
+  std::string ToChromeTraceJson() const;
+  // Indented name/attr tree; timing excluded, sibling order deterministic.
+  // The determinism tests compare these strings across thread counts.
+  std::string ToSpanTree() const;
+  // Writes ToChromeTraceJson() to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  void Clear();
+  size_t num_spans() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  const uint64_t id_;  // process-unique; keys the thread-local current-span
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;  // span id == index + 1
+  std::unordered_map<std::thread::id, uint64_t> thread_numbers_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// RAII span: opens on construction, closes (and restores the thread's
+// previous current span) on destruction. Inactive — all methods no-ops —
+// when the tracer is null or disabled; build span names inside a
+// `TraceEnabled(t) ? ScopedSpan(t, ...) : ScopedSpan()` conditional to
+// skip the name construction too on the disabled path.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  // `parent` 0 = nest under the thread's current span; pass an explicit
+  // parent (plus an `order` key for deterministic sibling sorting) when
+  // this span starts on a different thread than its logical parent.
+  ScopedSpan(Tracer* tracer, std::string name, SpanId parent = 0,
+             int64_t order = -1) {
+    if (tracer == nullptr || !tracer->enabled()) return;
+    tracer_ = tracer;
+    saved_current_ = tracer->CurrentSpan();
+    id_ = tracer->BeginSpan(std::move(name), parent, order);
+    tracer->SetCurrentSpan(id_);
+  }
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    tracer_->EndSpan(id_);
+    tracer_->SetCurrentSpan(saved_current_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void AddAttr(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) tracer_->AddAttr(id_, key, value);
+  }
+  void AddAttr(std::string_view key, uint64_t value) {
+    if (tracer_ != nullptr) tracer_->AddAttr(id_, key, std::to_string(value));
+  }
+
+  bool active() const { return tracer_ != nullptr; }
+  SpanId id() const { return id_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = 0;
+  SpanId saved_current_ = 0;
+};
+
+inline bool TraceEnabled(const Tracer* tracer) {
+  return tracer != nullptr && tracer->enabled();
+}
+
+// The GPIVOT_TRACE_DIR environment variable (empty when unset); read once.
+const std::string& TraceDirFromEnv();
+
+// Returns &Tracer::Global() with the tracer enabled when GPIVOT_TRACE_DIR
+// is set, else nullptr.
+Tracer* TracerFromEnv();
+
+}  // namespace gpivot::obs
+
+#endif  // GPIVOT_OBS_TRACE_H_

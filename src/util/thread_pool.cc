@@ -1,7 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace gpivot {
@@ -32,6 +34,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Pool-level accounting goes to the global registry: task counts and
+  // queue waits depend on scheduling, so they are deliberately kept out of
+  // ExecContext-carried (deterministic) registries.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  if (metrics.enabled()) {
+    metrics.AddCounter("thread_pool.tasks_submitted");
+    auto enqueued = std::chrono::steady_clock::now();
+    task = [task = std::move(task), enqueued, &metrics] {
+      std::chrono::duration<double, std::milli> wait =
+          std::chrono::steady_clock::now() - enqueued;
+      metrics.RecordLatency("thread_pool.queue_wait_ms", wait.count());
+      task();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     GPIVOT_CHECK(!stop_) << "Submit on stopped pool";
@@ -71,9 +87,19 @@ bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
 void ParallelFor(const ExecContext& ctx, size_t n,
                  const std::function<void(size_t)>& fn) {
   size_t stripes = std::min(ctx.num_threads, n);
+  obs::MetricsRegistry& pool_metrics = obs::MetricsRegistry::Global();
+  if (pool_metrics.enabled()) {
+    pool_metrics.AddCounter("thread_pool.parallel_for.calls");
+  }
   if (stripes <= 1 || ThreadPool::OnWorkerThread()) {
+    if (pool_metrics.enabled()) {
+      pool_metrics.AddCounter("thread_pool.parallel_for.inline_calls");
+    }
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
+  }
+  if (pool_metrics.enabled()) {
+    pool_metrics.AddCounter("thread_pool.parallel_for.stripes", stripes);
   }
   // Static contiguous stripes: stripe t covers [t*n/stripes,
   // (t+1)*n/stripes). The caller runs stripe 0; workers run the rest.

@@ -9,6 +9,11 @@
 #include <thread>
 #include <vector>
 
+namespace gpivot::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace gpivot::obs
+
 namespace gpivot {
 
 // Concurrency knob threaded through the operator APIs (HashJoin, GroupBy,
@@ -30,6 +35,13 @@ struct ExecContext {
   // propagation runs many tiny operator calls. Tests lower it to force the
   // parallel code paths onto small tables.
   size_t min_parallel_rows = 1024;
+
+  // Observability sinks (src/obs/). Null — the default — disables
+  // instrumentation at the cost of a pointer check per operator call.
+  // Counter values recorded through `metrics` are deterministic across
+  // num_threads; only histogram timings vary.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 
   bool ShouldParallelize(size_t rows) const {
     return num_threads > 1 && rows >= min_parallel_rows && rows >= 2;

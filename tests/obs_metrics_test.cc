@@ -1,0 +1,156 @@
+// MetricsRegistry contract tests: exact sums under concurrency (the
+// thread-local shards must never lose an update), deterministic snapshots,
+// a true no-op disabled path, and valid JSON rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace gpivot {
+namespace {
+
+using obs::HistogramData;
+using obs::IsValidJson;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::ScopedLatency;
+
+TEST(MetricsRegistryTest, CountersSumExactly) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.AddCounter("a");
+  registry.AddCounter("a", 4);
+  registry.AddCounter("b", 10);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("a"), 5u);
+  EXPECT_EQ(snapshot.counters.at("b"), 10u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCountersSumExactly) {
+  // Run under TSan in CI: increments from every pool worker plus the
+  // caller must merge to the exact total, with no race reports.
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  const size_t n = 10000;
+  ParallelFor(ExecContext{7, 1}, n, [&](size_t i) {
+    registry.AddCounter("hits");
+    registry.AddCounter("sum", i);
+  });
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("hits"), n);
+  EXPECT_EQ(snapshot.counters.at("sum"), n * (n - 1) / 2);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryRecordsNothing) {
+  MetricsRegistry registry;
+  ASSERT_FALSE(registry.enabled());
+  registry.AddCounter("a");
+  registry.RecordLatency("h", 1.0);
+  { ScopedLatency latency(&registry, "h"); }
+  { ScopedLatency latency(nullptr, "h"); }
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST(MetricsRegistryTest, ResetClearsEveryShard) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  ParallelFor(ExecContext{4, 1}, 100, [&](size_t) {
+    registry.AddCounter("a");
+  });
+  EXPECT_EQ(registry.Snapshot().counters.at("a"), 100u);
+  registry.Reset();
+  EXPECT_TRUE(registry.Snapshot().counters.empty());
+  registry.AddCounter("a");
+  EXPECT_EQ(registry.Snapshot().counters.at("a"), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSorted) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.AddCounter("zebra");
+  registry.AddCounter("alpha");
+  registry.AddCounter("middle");
+  MetricsSnapshot snapshot = registry.Snapshot();
+  std::vector<std::string> names;
+  for (const auto& [name, value] : snapshot.counters) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "middle", "zebra"}));
+}
+
+TEST(MetricsRegistryTest, HistogramStats) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.RecordLatency("h", 1.5);
+  registry.RecordLatency("h", 0.5);
+  registry.RecordLatency("h", 8.0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramData& h = snapshot.histograms.at("h");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.total_ms, 10.0);
+  EXPECT_DOUBLE_EQ(h.min_ms, 0.5);
+  EXPECT_DOUBLE_EQ(h.max_ms, 8.0);
+  EXPECT_NEAR(h.mean_ms(), 10.0 / 3.0, 1e-9);
+  uint64_t bucketed = 0;
+  for (uint64_t b : h.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, 3u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketIndexClampsAndOrders) {
+  EXPECT_EQ(HistogramData::BucketIndex(0.0), 0u);
+  EXPECT_EQ(HistogramData::BucketIndex(-1.0), 0u);
+  EXPECT_EQ(HistogramData::BucketIndex(1.0),
+            static_cast<size_t>(HistogramData::kBucketBias));
+  EXPECT_LT(HistogramData::BucketIndex(1.0), HistogramData::BucketIndex(100.0));
+  EXPECT_EQ(HistogramData::BucketIndex(1e12),
+            HistogramData::kNumBuckets - 1);
+}
+
+TEST(MetricsRegistryTest, ScopedLatencyRecordsOneSample) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  { ScopedLatency latency(&registry, "scoped.ms"); }
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.histograms.at("scoped.ms").count, 1u);
+  EXPECT_GE(snapshot.histograms.at("scoped.ms").total_ms, 0.0);
+}
+
+TEST(MetricsSnapshotTest, ToJsonIsValidJson) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.AddCounter("exec.join.calls", 3);
+  registry.AddCounter("weird\"name\\with\nescapes");
+  registry.RecordLatency("exec.join.ms", 1.25);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  std::string json = snapshot.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("exec.join.calls"), std::string::npos);
+  std::string indented = snapshot.ToJson(4);
+  EXPECT_TRUE(IsValidJson(indented)) << indented;
+}
+
+TEST(MetricsSnapshotTest, EmptySnapshotIsValidJson) {
+  MetricsSnapshot snapshot;
+  EXPECT_TRUE(IsValidJson(snapshot.ToJson()));
+  EXPECT_TRUE(snapshot.ToString().empty());
+}
+
+TEST(JsonUtilTest, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("[1, 2.5, -3e2, \"s\", true, false, null]"));
+  EXPECT_TRUE(IsValidJson("{\"a\": {\"b\": [\"\\u00ff\", \"\\n\"]}}"));
+  EXPECT_FALSE(IsValidJson(""));
+  EXPECT_FALSE(IsValidJson("{"));
+  EXPECT_FALSE(IsValidJson("{\"a\": }"));
+  EXPECT_FALSE(IsValidJson("[1,]"));
+  EXPECT_FALSE(IsValidJson("{} trailing"));
+  EXPECT_FALSE(IsValidJson("\"unterminated"));
+  EXPECT_FALSE(IsValidJson("01"));
+}
+
+}  // namespace
+}  // namespace gpivot

@@ -1,0 +1,162 @@
+// Tracer contract tests: thread-local span nesting, deterministic sibling
+// ordering via explicit parent/order keys, and well-formed Chrome-trace
+// JSON (the file-writing test doubles as CI's trace-validity check).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json_util.h"
+#include "obs/trace.h"
+
+namespace gpivot {
+namespace {
+
+using obs::IsValidJson;
+using obs::ScopedSpan;
+using obs::SpanId;
+using obs::TraceEnabled;
+using obs::Tracer;
+
+TEST(TracerTest, ScopedSpansNestViaThreadLocalCurrent) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer(&tracer, "outer");
+    {
+      ScopedSpan inner(&tracer, "inner");
+      ScopedSpan grandchild(&tracer, "leaf");
+    }
+    ScopedSpan sibling(&tracer, "sibling");
+  }
+  ScopedSpan root2(&tracer, "root2");
+  EXPECT_EQ(tracer.ToSpanTree(),
+            "outer\n"
+            "  inner\n"
+            "    leaf\n"
+            "  sibling\n"
+            "root2\n");
+}
+
+TEST(TracerTest, AttrsAppearInTree) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span(&tracer, "HashJoin");
+    span.AddAttr("build_rows", uint64_t{80});
+    span.AddAttr("type", "Inner");
+  }
+  EXPECT_EQ(tracer.ToSpanTree(), "HashJoin build_rows=80 type=Inner\n");
+}
+
+TEST(TracerTest, ExplicitParentAndOrderSortSiblings) {
+  // Simulates the per-view fan-out: children created out of order (as a
+  // parallel schedule would) but carrying explicit order keys come back in
+  // key order, ahead of creation-ordered siblings.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  SpanId parent = tracer.BeginSpan("stage");
+  SpanId late = tracer.BeginSpan("stage:v3", parent, 2);
+  SpanId early = tracer.BeginSpan("stage:v1", parent, 0);
+  SpanId mid = tracer.BeginSpan("stage:v2", parent, 1);
+  SpanId implicit = tracer.BeginSpan("extra", parent);
+  tracer.EndSpan(late);
+  tracer.EndSpan(early);
+  tracer.EndSpan(mid);
+  tracer.EndSpan(implicit);
+  tracer.EndSpan(parent);
+  EXPECT_EQ(tracer.ToSpanTree(),
+            "stage\n"
+            "  stage:v1\n"
+            "  stage:v2\n"
+            "  stage:v3\n"
+            "  extra\n");
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  ASSERT_FALSE(TraceEnabled(&tracer));
+  EXPECT_FALSE(TraceEnabled(nullptr));
+  {
+    ScopedSpan span(&tracer, "ignored");
+    EXPECT_FALSE(span.active());
+    span.AddAttr("k", "v");
+  }
+  { ScopedSpan null_span(nullptr, "ignored"); }
+  EXPECT_EQ(tracer.num_spans(), 0u);
+  EXPECT_EQ(tracer.ToSpanTree(), "");
+}
+
+TEST(TracerTest, ScopedSpanRestoresPreviousCurrent) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  ScopedSpan outer(&tracer, "outer");
+  EXPECT_EQ(tracer.CurrentSpan(), outer.id());
+  {
+    ScopedSpan inner(&tracer, "inner");
+    EXPECT_EQ(tracer.CurrentSpan(), inner.id());
+  }
+  EXPECT_EQ(tracer.CurrentSpan(), outer.id());
+}
+
+TEST(TracerTest, ClearDropsSpansAndToleratesOpenHandles) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  SpanId open = tracer.BeginSpan("open");
+  tracer.Clear();
+  EXPECT_EQ(tracer.num_spans(), 0u);
+  tracer.EndSpan(open);  // span id no longer exists; must not crash
+  tracer.AddAttr(open, "k", "v");
+  EXPECT_EQ(tracer.num_spans(), 0u);
+}
+
+TEST(TracerTest, ChromeTraceJsonIsValidAndEscaped) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span(&tracer, "tricky \"name\"\nwith\\escapes");
+    span.AddAttr("key \"q\"", "value\twith\ttabs");
+    ScopedSpan child(&tracer, "child");
+  }
+  std::string json = tracer.ToChromeTraceJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(TracerTest, EmptyTraceIsValidJson) {
+  Tracer tracer;
+  EXPECT_TRUE(IsValidJson(tracer.ToChromeTraceJson()));
+}
+
+// CI runs this test against the trace file a smoke bench just produced
+// being the same code path: WriteChromeTrace output read back from disk
+// must parse as JSON.
+TEST(TracerTest, WrittenTraceFileIsValidJson) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan epoch(&tracer, "epoch");
+    ScopedSpan stage(&tracer, "stage");
+    ScopedSpan view(&tracer, "stage:v1");
+    view.AddAttr("rows_out", uint64_t{7});
+  }
+  std::string path = ::testing::TempDir() + "/gpivot_trace_test.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_TRUE(IsValidJson(contents.str())) << contents.str();
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, WriteChromeTraceFailsOnBadPath) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.WriteChromeTrace("/nonexistent-dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace gpivot
