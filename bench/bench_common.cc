@@ -11,7 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>  // environ
+
 #include "ivm/view_manager.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tpch/views.h"
@@ -61,7 +64,56 @@ struct BenchRecord {
   size_t view_rows = 0;
   size_t delta_rows = 0;
   std::string metrics_json;  // last rep's snapshot; empty when disabled
+  std::string cost_json;     // last rep's per-node cost report (JSON line)
+  std::string cost_text;     // same report, annotated-tree rendering
+  std::string prom_text;     // last rep's Prometheus exposition
 };
+
+// The environment variables the harness and the libraries it links read.
+// Anything else spelled GPIVOT_* is almost certainly a typo (a silently
+// ignored GPIVOT_BENCH_THREDS would publish wrong numbers), so warn.
+constexpr const char* kKnownEnvVars[] = {
+    "GPIVOT_BENCH_SF",      "GPIVOT_BENCH_SEED",  "GPIVOT_BENCH_THREADS",
+    "GPIVOT_BENCH_REPS",    "GPIVOT_BENCH_VERIFY", "GPIVOT_BENCH_AUDIT",
+    "GPIVOT_BENCH_JSON_DIR", "GPIVOT_METRICS",     "GPIVOT_TRACE_DIR",
+    "GPIVOT_EVENT_LOG",
+};
+
+// Warns on unrecognized GPIVOT_* variables and exits (code 2) when an
+// artifact sink — GPIVOT_TRACE_DIR or GPIVOT_EVENT_LOG — is unwritable:
+// those files are flushed at process exit, far too late to notice a bad
+// path after an hour-long sweep.
+void ValidateBenchEnv() {
+  for (char** env = environ; *env != nullptr; ++env) {
+    std::string entry = *env;
+    if (entry.rfind("GPIVOT_", 0) != 0) continue;
+    std::string name = entry.substr(0, entry.find('='));
+    bool known = false;
+    for (const char* candidate : kKnownEnvVars) known |= name == candidate;
+    if (!known) {
+      std::fprintf(stderr, "bench: warning: unrecognized env var %s ignored\n",
+                   name.c_str());
+    }
+  }
+  const std::string& trace_dir = obs::TraceDirFromEnv();
+  if (!trace_dir.empty()) {
+    std::string probe = StrCat(trace_dir, "/.gpivot_probe");
+    bool writable = static_cast<bool>(std::ofstream(probe));
+    if (writable) {
+      std::remove(probe.c_str());
+    } else {
+      std::fprintf(stderr, "bench: GPIVOT_TRACE_DIR=%s is not writable\n",
+                   trace_dir.c_str());
+      std::exit(2);
+    }
+  }
+  obs::EventLog* event_log = obs::EventLogFromEnv();
+  if (event_log != nullptr && !event_log->ok()) {
+    std::fprintf(stderr, "bench: GPIVOT_EVENT_LOG unusable: %s\n",
+                 event_log->error().c_str());
+    std::exit(2);
+  }
+}
 
 // Collects every record produced by this process and writes one
 // BENCH_<figure>.json per figure at exit. The registry (not each
@@ -98,6 +150,30 @@ class BenchJsonRegistry {
     return buffer;
   }
 
+  // COST_<figure>.txt: the annotated operator tree per (strategy, fraction),
+  // for reading a run's plan shapes without a JSON pipeline.
+  // METRICS_<figure>.prom: the figure's final metrics snapshot in Prometheus
+  // text exposition format, scrape-ready.
+  static void WriteSidecars(const std::string& dir, const std::string& figure,
+                            const std::vector<BenchRecord>& records) {
+    bool any_cost = false;
+    for (const BenchRecord& r : records) any_cost |= !r.cost_text.empty();
+    if (any_cost) {
+      std::ofstream out(StrCat(dir, "/COST_", Sanitize(figure), ".txt"));
+      for (const BenchRecord& r : records) {
+        if (r.cost_text.empty()) continue;
+        out << "== " << r.strategy << " @" << FormatDouble(r.fraction)
+            << "\n" << r.cost_text << "\n";
+      }
+    }
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      if (it->prom_text.empty()) continue;
+      std::ofstream out(StrCat(dir, "/METRICS_", Sanitize(figure), ".prom"));
+      out << it->prom_text;
+      break;
+    }
+  }
+
   void WriteAll() {
     std::lock_guard<std::mutex> lock(mu_);
     const char* dir_env = std::getenv("GPIVOT_BENCH_JSON_DIR");
@@ -132,10 +208,14 @@ class BenchJsonRegistry {
         if (!r.metrics_json.empty()) {
           out << ",\n     \"metrics\": " << r.metrics_json;
         }
+        if (!r.cost_json.empty()) {
+          out << ",\n     \"cost\": " << r.cost_json;
+        }
         out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
       }
       out << "  ]\n";
       out << "}\n";
+      WriteSidecars(dir, figure, records);
       // When tracing is on, drop the process's span log next to the figure
       // JSON (same base name) in GPIVOT_TRACE_DIR.
       const std::string& trace_dir = obs::TraceDirFromEnv();
@@ -198,6 +278,9 @@ void RunRefresh(benchmark::State& state, const char* figure_name, ViewId view,
   size_t delta_rows = 0;
   std::vector<double> rep_ms;
   std::string metrics_json;
+  std::string cost_json;
+  std::string cost_text;
+  std::string prom_text;
   for (auto _ : state) {
     rep_ms.clear();
     // Every repetition rebuilds the view and replays the *same* delta batch
@@ -233,7 +316,14 @@ void RunRefresh(benchmark::State& state, const char* figure_name, ViewId view,
               .count());
       GPIVOT_CHECK(refreshed.ok()) << refreshed.ToString();
       if (exec.metrics != nullptr && exec.metrics->enabled()) {
-        metrics_json = exec.metrics->Snapshot().ToJson(5);
+        obs::MetricsSnapshot snapshot = exec.metrics->Snapshot();
+        metrics_json = snapshot.ToJson(5);
+        prom_text = snapshot.ToPrometheusText();
+        auto cost = manager.ExplainAnalyze("v");
+        if (cost.ok()) {
+          cost_json = cost->ToJsonLine();
+          cost_text = cost->ToText();
+        }
       }
       Status advanced = manager.AdvanceBase(*deltas);
       GPIVOT_CHECK(advanced.ok()) << advanced.ToString();
@@ -267,7 +357,8 @@ void RunRefresh(benchmark::State& state, const char* figure_name, ViewId view,
       figure_name,
       BenchRecord{ivm::RefreshStrategyToString(strategy), fraction,
                   rep_ms.front(), median, reps, view_rows, delta_rows,
-                  std::move(metrics_json)});
+                  std::move(metrics_json), std::move(cost_json),
+                  std::move(cost_text), std::move(prom_text)});
 }
 
 }  // namespace
@@ -303,6 +394,11 @@ const std::vector<double>& Fractions() {
 
 void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
                     const std::vector<ivm::RefreshStrategy>& strategies) {
+  static const bool kEnvValidated = [] {
+    ValidateBenchEnv();
+    return true;
+  }();
+  (void)kEnvValidated;
   for (ivm::RefreshStrategy strategy : strategies) {
     for (double fraction : Fractions()) {
       std::string name =

@@ -55,8 +55,16 @@ ExecContext BenchExecContext();
 // (strategy, fraction) with the min/median wall-clock refresh time and rows
 // touched, so the perf trajectory is tracked across PRs instead of scraped
 // from stdout. With GPIVOT_METRICS=1 each record additionally embeds the
-// last rep's per-operator metrics snapshot; with GPIVOT_TRACE_DIR set a
-// Chrome-trace TRACE_<figure>.json lands in that directory.
+// last rep's per-operator metrics snapshot and per-plan-node cost report,
+// and two sidecar files land next to the JSON: COST_<figure>.txt (annotated
+// operator trees) and METRICS_<figure>.prom (Prometheus text exposition).
+// With GPIVOT_TRACE_DIR set a Chrome-trace TRACE_<figure>.json lands in
+// that directory.
+//
+// The first registration validates the environment: unrecognized GPIVOT_*
+// variables get a stderr warning (they are typos until proven otherwise),
+// and an unwritable GPIVOT_TRACE_DIR or GPIVOT_EVENT_LOG aborts the process
+// immediately rather than losing artifacts at exit.
 void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
                     const std::vector<ivm::RefreshStrategy>& strategies);
 

@@ -4,6 +4,7 @@
 #include "exec/basic_ops.h"
 #include "exec/group_by.h"
 #include "exec/join.h"
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -22,6 +23,14 @@ Result<Table> EvaluateNode(const PlanPtr& plan, const Catalog& catalog,
       const auto* scan = static_cast<const ScanNode*>(plan.get());
       GPIVOT_ASSIGN_OR_RETURN(const Table* table,
                               catalog.GetTable(scan->table_name()));
+      if (ctx.cost != nullptr && ctx.cost_node >= 0) {
+        obs::NodeStats stats;
+        stats.invocations = 1;
+        stats.rows_out = table->num_rows();
+        stats.base_accesses = 1;
+        stats.base_rows_read = table->num_rows();
+        ctx.cost->Record(ctx.cost_node, stats);
+      }
       return *table;
     }
     case PlanKind::kSelect: {
@@ -83,6 +92,13 @@ Result<Table> EvaluateNode(const PlanPtr& plan, const Catalog& catalog,
       const auto* node = static_cast<const GUnpivotNode*>(plan.get());
       GPIVOT_ASSIGN_OR_RETURN(Table child, Evaluate(node->child(), catalog, ctx));
       GPIVOT_ASSIGN_OR_RETURN(Table result, GUnpivot(child, node->spec()));
+      if (ctx.cost != nullptr && ctx.cost_node >= 0) {
+        obs::NodeStats stats;
+        stats.invocations = 1;
+        stats.rows_in = child.num_rows();
+        stats.rows_out = result.num_rows();
+        ctx.cost->Record(ctx.cost_node, stats);
+      }
       GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> key,
                               node->OutputKey());
       GPIVOT_RETURN_NOT_OK(result.SetKey(key));
@@ -97,12 +113,20 @@ Result<Table> EvaluateNode(const PlanPtr& plan, const Catalog& catalog,
 Result<Table> Evaluate(const PlanPtr& plan, const Catalog& catalog,
                        const ExecContext& ctx) {
   GPIVOT_CHECK(plan != nullptr) << "Evaluate on null plan";
+  // Re-target cost attribution at this node when the id map knows it; nodes
+  // outside the map (e.g. restriction plans synthesized at refresh time)
+  // inherit the caller's attribution target.
+  ExecContext node_ctx = ctx;
+  if (ctx.cost != nullptr && ctx.plan_ids != nullptr) {
+    int id = ctx.plan_ids->IdOf(plan.get());
+    if (id >= 0) node_ctx.cost_node = id;
+  }
   obs::ScopedSpan span =
       obs::TraceEnabled(ctx.tracer)
           ? obs::ScopedSpan(ctx.tracer,
                             StrCat("eval:", PlanKindToString(plan->kind())))
           : obs::ScopedSpan();
-  GPIVOT_ASSIGN_OR_RETURN(Table result, EvaluateNode(plan, catalog, ctx));
+  GPIVOT_ASSIGN_OR_RETURN(Table result, EvaluateNode(plan, catalog, node_ctx));
   if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
     ctx.metrics->AddCounter(
         StrCat("algebra.eval.", PlanKindToString(plan->kind()), ".calls"));

@@ -391,4 +391,21 @@ std::string PlanToString(const PlanPtr& plan) {
   return out;
 }
 
+namespace {
+void AssignIds(const PlanPtr& plan, PlanNodeIds* ids) {
+  if (ids->index.count(plan.get()) > 0) return;  // DAG-shared subtree
+  ids->index.emplace(plan.get(), static_cast<int>(ids->nodes.size()));
+  ids->nodes.push_back(plan);
+  for (const PlanPtr& child : plan->children()) {
+    AssignIds(child, ids);
+  }
+}
+}  // namespace
+
+PlanNodeIds AssignNodeIds(const PlanPtr& plan) {
+  PlanNodeIds ids;
+  if (plan != nullptr) AssignIds(plan, &ids);
+  return ids;
+}
+
 }  // namespace gpivot

@@ -294,6 +294,29 @@ PlanPtr MakeGUnpivot(PlanPtr child, UnpivotSpec spec);
 // Multi-line indented tree rendering.
 std::string PlanToString(const PlanPtr& plan);
 
+// Stable per-plan node numbering for cost attribution (obs::CostCollector):
+// ids are assigned pre-order (root = 0, then children left to right), so a
+// plan's ids are a pure function of its shape and survive any number of
+// Stage calls. Rewrite rules share unchanged subtrees between plans — a
+// node reachable more than once keeps the id of its first visit, matching
+// the propagator's memoized evaluation (a shared subtree is one unit of
+// work, not two).
+struct PlanNodeIds {
+  // id -> node, in pre-order; also keeps the nodes alive so raw-pointer
+  // lookups stay valid for the lifetime of the id map.
+  std::vector<PlanPtr> nodes;
+  std::unordered_map<const PlanNode*, int> index;
+
+  // The node's id, or -1 when it is not part of the numbered plan.
+  int IdOf(const PlanNode* node) const {
+    auto it = index.find(node);
+    return it == index.end() ? -1 : it->second;
+  }
+  size_t size() const { return nodes.size(); }
+};
+
+PlanNodeIds AssignNodeIds(const PlanPtr& plan);
+
 // Evaluates `plan` against current catalog contents (full computation).
 // ctx parallelizes the join and group-by operators; output is byte-identical
 // for every thread count.

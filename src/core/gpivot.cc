@@ -6,6 +6,7 @@
 
 #include "exec/basic_ops.h"
 #include "exec/join.h"
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -97,6 +98,13 @@ Result<Table> GPivot(const Table& input, const PivotSpec& spec,
                              : obs::ScopedSpan();
   obs::ScopedLatency latency(ctx.metrics, "core.gpivot.ms");
   GPIVOT_ASSIGN_OR_RETURN(Table result, GPivotImpl(input, spec));
+  if (ctx.cost != nullptr && ctx.cost_node >= 0) {
+    obs::NodeStats stats;
+    stats.invocations = 1;
+    stats.rows_in = input.num_rows();
+    stats.rows_out = result.num_rows();
+    ctx.cost->Record(ctx.cost_node, stats);
+  }
   if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
     ctx.metrics->AddCounter("core.gpivot.calls");
     ctx.metrics->AddCounter("core.gpivot.rows_in", input.num_rows());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -12,9 +13,17 @@ namespace gpivot::exec {
 namespace {
 
 // Shared per-op accounting: exec.<op>.{calls,rows_in,rows_out}. Counter
-// values depend only on the data, never on scheduling.
+// values depend only on the data, never on scheduling. The same numbers
+// feed per-plan-node cost attribution when the caller attached a collector.
 void RecordOp(const ExecContext& ctx, const char* op, size_t rows_in,
               size_t rows_out) {
+  if (ctx.cost != nullptr && ctx.cost_node >= 0) {
+    obs::NodeStats stats;
+    stats.invocations = 1;
+    stats.rows_in = rows_in;
+    stats.rows_out = rows_out;
+    ctx.cost->Record(ctx.cost_node, stats);
+  }
   if (ctx.metrics == nullptr || !ctx.metrics->enabled()) return;
   ctx.metrics->AddCounter(StrCat("exec.", op, ".calls"));
   ctx.metrics->AddCounter(StrCat("exec.", op, ".rows_in"), rows_in);

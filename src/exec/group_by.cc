@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -150,6 +151,13 @@ Result<Table> GroupBy(const Table& input,
   obs::ScopedLatency latency(ctx.metrics, "exec.group_by.ms");
   GPIVOT_ASSIGN_OR_RETURN(Table result,
                           GroupByImpl(input, group_columns, aggregates, ctx));
+  if (ctx.cost != nullptr && ctx.cost_node >= 0) {
+    obs::NodeStats stats;
+    stats.invocations = 1;
+    stats.rows_in = input.num_rows();
+    stats.rows_out = result.num_rows();
+    ctx.cost->Record(ctx.cost_node, stats);
+  }
   if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
     ctx.metrics->AddCounter("exec.group_by.calls");
     ctx.metrics->AddCounter("exec.group_by.rows_in", input.num_rows());

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -244,6 +245,15 @@ Result<Table> HashJoin(const Table& left, const Table& right,
                           left.num_rows() < right.num_rows();
   size_t build_rows = inner_build_left ? left.num_rows() : right.num_rows();
   size_t probe_rows = inner_build_left ? right.num_rows() : left.num_rows();
+  if (ctx.cost != nullptr && ctx.cost_node >= 0) {
+    obs::NodeStats stats;
+    stats.invocations = 1;
+    stats.rows_in = left.num_rows() + right.num_rows();
+    stats.rows_out = result.num_rows();
+    stats.build_rows = build_rows;
+    stats.probe_rows = probe_rows;
+    ctx.cost->Record(ctx.cost_node, stats);
+  }
   if (ctx.metrics != nullptr && ctx.metrics->enabled()) {
     ctx.metrics->AddCounter("exec.join.calls");
     ctx.metrics->AddCounter("exec.join.build_rows", build_rows);

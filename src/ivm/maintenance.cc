@@ -183,6 +183,14 @@ Result<Table> EvaluatePostRestricted(
   return exec::SemiJoinKeySet(full, key_names, keys);
 }
 
+// Context copy that attributes subsequent operator work to plan node
+// `node`; a no-op when no collector is attached or the node is unknown.
+ExecContext Attributed(const ExecContext& ctx, int node) {
+  ExecContext out = ctx;
+  if (out.cost != nullptr && node >= 0) out.cost_node = node;
+  return out;
+}
+
 // Fig. 28: an aggregate view is delete-maintainable only with a per-group
 // COUNT(*). Adds one (and a matching pivot measure) when missing.
 Result<PlanPtr> EnsureCountStar(const PlanPtr& plan) {
@@ -211,6 +219,37 @@ Result<PlanPtr> EnsureCountStar(const PlanPtr& plan) {
 
 Result<MaintenancePlan> MaintenancePlan::Compile(PlanPtr view_query,
                                                  RefreshStrategy strategy) {
+  GPIVOT_ASSIGN_OR_RETURN(
+      MaintenancePlan plan, CompileInternal(std::move(view_query), strategy));
+  plan.node_ids_ =
+      std::make_shared<const PlanNodeIds>(AssignNodeIds(plan.effective_query_));
+  plan.cost_ = std::make_shared<obs::CostCollector>();
+  // The staging code applies the top pivot (and, for kCombinedGroupBy, the
+  // GROUPBY under it) to delta tables directly rather than through
+  // Evaluate/Propagate; resolve their ids once so that work is attributed
+  // to the right nodes.
+  const PlanNode* top = plan.effective_query_.get();
+  const PlanNode* pivot = nullptr;
+  if (top->kind() == PlanKind::kGPivot) {
+    pivot = top;
+  } else if (top->kind() == PlanKind::kSelect) {
+    const PlanNode* child =
+        static_cast<const SelectNode*>(top)->child().get();
+    if (child->kind() == PlanKind::kGPivot) pivot = child;
+  }
+  if (pivot != nullptr) {
+    plan.pivot_node_id_ = plan.node_ids_->IdOf(pivot);
+    const PlanNode* pivot_child =
+        static_cast<const GPivotNode*>(pivot)->child().get();
+    if (pivot_child->kind() == PlanKind::kGroupBy) {
+      plan.group_node_id_ = plan.node_ids_->IdOf(pivot_child);
+    }
+  }
+  return plan;
+}
+
+Result<MaintenancePlan> MaintenancePlan::CompileInternal(
+    PlanPtr view_query, RefreshStrategy strategy) {
   MaintenancePlan plan;
   plan.strategy_ = strategy;
   plan.original_query_ = view_query;
@@ -379,7 +418,16 @@ Result<StagedRefresh> MaintenancePlan::Stage(const Catalog& pre_catalog,
                                              const ExecContext& ctx) const {
   GPIVOT_FAULT_POINT("MaintenancePlan::Stage");
   obs::ScopedLatency latency(ctx.metrics, "ivm.stage.ms");
-  DeltaPropagator propagator(&pre_catalog, &deltas, ctx);
+  // Collect per-node actuals for this refresh unless the caller already
+  // attached a collector of their own. "Last stage wins": the collector is
+  // reset here, so ExplainAnalyze always describes the most recent refresh.
+  ExecContext stage_ctx = ctx;
+  if (stage_ctx.cost == nullptr && cost_ != nullptr) {
+    cost_->Reset();
+    stage_ctx.cost = cost_.get();
+    stage_ctx.plan_ids = node_ids_.get();
+  }
+  DeltaPropagator propagator(&pre_catalog, &deltas, stage_ctx);
   StagedRefresh staged;
   switch (strategy_) {
     case RefreshStrategy::kFullRecompute: {
@@ -464,12 +512,12 @@ Result<MergePlan> MaintenancePlan::StagePivotUpdateRefresh(
   GPIVOT_CHECK(layout_.has_value()) << "missing layout";
   GPIVOT_ASSIGN_OR_RETURN(Delta child_delta,
                           propagator->Propagate(pivot_child_));
+  ExecContext pivot_ctx =
+      Attributed(propagator->exec_context(), pivot_node_id_);
   GPIVOT_ASSIGN_OR_RETURN(
-      Table pivoted_ins,
-      GPivot(child_delta.inserts, layout_->spec, propagator->exec_context()));
+      Table pivoted_ins, GPivot(child_delta.inserts, layout_->spec, pivot_ctx));
   GPIVOT_ASSIGN_OR_RETURN(
-      Table pivoted_del,
-      GPivot(child_delta.deletes, layout_->spec, propagator->exec_context()));
+      Table pivoted_del, GPivot(child_delta.deletes, layout_->spec, pivot_ctx));
   return StagePivotUpdate(view, *layout_,
                           Delta{std::move(pivoted_ins),
                                 std::move(pivoted_del)});
@@ -483,20 +531,20 @@ Result<MergePlan> MaintenancePlan::StageCombinedGroupByRefresh(
   // aggregates of the delta rows — no group recomputation (Fig. 27).
   GPIVOT_ASSIGN_OR_RETURN(Delta child_delta,
                           propagator->Propagate(group_child_));
+  ExecContext group_ctx =
+      Attributed(propagator->exec_context(), group_node_id_);
+  ExecContext pivot_ctx =
+      Attributed(propagator->exec_context(), pivot_node_id_);
   GPIVOT_ASSIGN_OR_RETURN(
       Table agg_ins, exec::GroupBy(child_delta.inserts, group_columns_,
-                                   group_aggregates_,
-                                   propagator->exec_context()));
+                                   group_aggregates_, group_ctx));
   GPIVOT_ASSIGN_OR_RETURN(
       Table agg_del, exec::GroupBy(child_delta.deletes, group_columns_,
-                                   group_aggregates_,
-                                   propagator->exec_context()));
-  GPIVOT_ASSIGN_OR_RETURN(
-      Table pivoted_ins,
-      GPivot(agg_ins, layout_->spec, propagator->exec_context()));
-  GPIVOT_ASSIGN_OR_RETURN(
-      Table pivoted_del,
-      GPivot(agg_del, layout_->spec, propagator->exec_context()));
+                                   group_aggregates_, group_ctx));
+  GPIVOT_ASSIGN_OR_RETURN(Table pivoted_ins,
+                          GPivot(agg_ins, layout_->spec, pivot_ctx));
+  GPIVOT_ASSIGN_OR_RETURN(Table pivoted_del,
+                          GPivot(agg_del, layout_->spec, pivot_ctx));
   return StagePivotGroupByUpdate(view, *layout_, *agg_layout_,
                                  Delta{std::move(pivoted_ins),
                                        std::move(pivoted_del)});
@@ -508,12 +556,12 @@ Result<MergePlan> MaintenancePlan::StageCombinedSelectRefresh(
   const PivotSpec& spec = layout_->spec;
   GPIVOT_ASSIGN_OR_RETURN(Delta child_delta,
                           propagator->Propagate(pivot_child_));
-  GPIVOT_ASSIGN_OR_RETURN(
-      Table pivoted_ins,
-      GPivot(child_delta.inserts, spec, propagator->exec_context()));
-  GPIVOT_ASSIGN_OR_RETURN(
-      Table pivoted_del,
-      GPivot(child_delta.deletes, spec, propagator->exec_context()));
+  ExecContext pivot_ctx =
+      Attributed(propagator->exec_context(), pivot_node_id_);
+  GPIVOT_ASSIGN_OR_RETURN(Table pivoted_ins,
+                          GPivot(child_delta.inserts, spec, pivot_ctx));
+  GPIVOT_ASSIGN_OR_RETURN(Table pivoted_del,
+                          GPivot(child_delta.deletes, spec, pivot_ctx));
 
   // Recompute term (insert case, Fig. 29): keys touched by σ-relevant
   // inserts, re-pivoted from the post-state input.
@@ -549,9 +597,8 @@ Result<MergePlan> MaintenancePlan::StageCombinedSelectRefresh(
           affected, exec::SemiJoinKeySet(affected, key_names, keys,
                                          propagator->exec_context()));
       GPIVOT_RETURN_NOT_OK(affected.SetKey({}));
-      GPIVOT_ASSIGN_OR_RETURN(
-          recompute_candidates,
-          GPivot(affected, spec, propagator->exec_context()));
+      GPIVOT_ASSIGN_OR_RETURN(recompute_candidates,
+                              GPivot(affected, spec, pivot_ctx));
     }
   }
 
@@ -568,6 +615,14 @@ Result<MergePlan> MaintenancePlan::StageCombinedSelectRefresh(
 std::string MaintenancePlan::ToString() const {
   return StrCat("MaintenancePlan[", RefreshStrategyToString(strategy_),
                 "]\n", PlanToString(effective_query_));
+}
+
+CostReport ExplainAnalyze(const MaintenancePlan& plan) {
+  CostReport report =
+      BuildCostReport(plan.effective_query(), plan.node_ids(),
+                      plan.cost_collector()->Snapshot());
+  report.strategy = RefreshStrategyToString(plan.strategy());
+  return report;
 }
 
 }  // namespace gpivot::ivm

@@ -1,14 +1,17 @@
 #ifndef GPIVOT_IVM_MAINTENANCE_H_
 #define GPIVOT_IVM_MAINTENANCE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_set>
 
+#include "algebra/explain.h"
 #include "algebra/plan.h"
 #include "ivm/apply.h"
 #include "ivm/delta.h"
 #include "ivm/propagate.h"
+#include "obs/cost.h"
 #include "util/result.h"
 
 namespace gpivot::ivm {
@@ -63,6 +66,16 @@ class MaintenancePlan {
   const PlanPtr& effective_query() const { return effective_query_; }
   RefreshStrategy strategy() const { return strategy_; }
 
+  // Stable pre-order node numbering of effective_query(), assigned once at
+  // Compile so cost reports key the same work to the same id every epoch.
+  const PlanNodeIds& node_ids() const { return *node_ids_; }
+
+  // Per-node actuals of the most recent Stage call on this plan (reset at
+  // the start of each Stage). Shared so reports can outlive the plan.
+  std::shared_ptr<const obs::CostCollector> cost_collector() const {
+    return cost_;
+  }
+
   // Propagates `deltas` (relative to `pre_catalog`) and computes this
   // view's final refresh without mutating `view` or the base tables.
   // Inconsistent deltas (absent delete keys, duplicate inserts, negative
@@ -90,6 +103,11 @@ class MaintenancePlan {
  private:
   MaintenancePlan() = default;
 
+  // The strategy-specific rewriting; Compile wraps it with node-id
+  // assignment and cost-collector setup.
+  static Result<MaintenancePlan> CompileInternal(PlanPtr view_query,
+                                                 RefreshStrategy strategy);
+
   Result<MaterializedView> StageFullRecompute(
       DeltaPropagator* propagator) const;
   Result<MergePlan> StageInsertDeleteRefresh(
@@ -105,6 +123,13 @@ class MaintenancePlan {
   PlanPtr original_query_;
   PlanPtr effective_query_;
 
+  // Cost accounting (behind shared_ptr: MaintenancePlan is copyable and
+  // Stage is const; copies share one "last stage" collector).
+  std::shared_ptr<const PlanNodeIds> node_ids_;
+  std::shared_ptr<obs::CostCollector> cost_;
+  int pivot_node_id_ = -1;  // effective query's top GPIVOT, when one exists
+  int group_node_id_ = -1;  // the GROUPBY under it (kCombinedGroupBy)
+
   // kUpdate / kSelectPushdownUpdate / kCombinedSelect / kCombinedGroupBy:
   std::optional<PivotLayout> layout_;
   PlanPtr pivot_child_;  // subtree below the top pivot
@@ -119,6 +144,11 @@ class MaintenancePlan {
   ExprPtr select_condition_;
   std::unordered_set<size_t> condition_combos_;  // combos the σ references
 };
+
+// EXPLAIN ANALYZE of the plan's most recent Stage: the effective query
+// annotated with per-node actuals, as a CostReport (render with ToText /
+// ToJson). Before the first Stage every node reports zero work.
+CostReport ExplainAnalyze(const MaintenancePlan& plan);
 
 }  // namespace gpivot::ivm
 

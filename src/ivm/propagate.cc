@@ -6,6 +6,7 @@
 #include "exec/basic_ops.h"
 #include "exec/group_by.h"
 #include "exec/join.h"
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rewrite/rules.h"
@@ -53,7 +54,23 @@ Result<std::shared_ptr<const Table>> DeltaPropagator::EvaluateRef(
     std::unordered_map<const PlanNode*, std::shared_ptr<const Table>>* memo) {
   if (plan->kind() == PlanKind::kScan) {
     const auto* scan = static_cast<const ScanNode*>(plan.get());
-    return catalog.GetSharedTable(scan->table_name());
+    GPIVOT_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
+                            catalog.GetSharedTable(scan->table_name()));
+    // A scan alias is one base-table access per database state, however many
+    // rules consume it — mirror the memoization below so the cost report
+    // counts the work once.
+    if (ctx_.cost != nullptr && ctx_.plan_ids != nullptr) {
+      int id = ctx_.plan_ids->IdOf(plan.get());
+      if (id >= 0 && scan_reads_.insert({memo, plan.get()}).second) {
+        obs::NodeStats stats;
+        stats.invocations = 1;
+        stats.rows_out = table->num_rows();
+        stats.base_accesses = 1;
+        stats.base_rows_read = table->num_rows();
+        ctx_.cost->Record(id, stats);
+      }
+    }
+    return table;
   }
   auto it = memo->find(plan.get());
   if (it != memo->end()) return it->second;
@@ -100,7 +117,23 @@ Result<Delta> DeltaPropagator::Propagate(const PlanPtr& plan) {
                 ctx_.tracer,
                 StrCat("propagate:", PlanKindToString(plan->kind())))
           : obs::ScopedSpan();
-  GPIVOT_ASSIGN_OR_RETURN(Delta delta, PropagateImpl(plan));
+  // Attribute the exec work of this node's propagation rule to its plan-node
+  // id; recursive Propagate calls re-target on entry and restore on exit.
+  const int saved_node = ctx_.cost_node;
+  if (ctx_.cost != nullptr && ctx_.plan_ids != nullptr) {
+    int id = ctx_.plan_ids->IdOf(plan.get());
+    if (id >= 0) ctx_.cost_node = id;
+  }
+  Result<Delta> delta_or = PropagateImpl(plan);
+  if (delta_or.ok() && ctx_.cost != nullptr && ctx_.cost_node >= 0) {
+    obs::NodeStats stats;
+    stats.delta_insert_rows = delta_or->inserts.num_rows();
+    stats.delta_delete_rows = delta_or->deletes.num_rows();
+    ctx_.cost->Record(ctx_.cost_node, stats);
+  }
+  ctx_.cost_node = saved_node;
+  if (!delta_or.ok()) return delta_or.status();
+  Delta delta = std::move(delta_or).value();
   if (ctx_.metrics != nullptr && ctx_.metrics->enabled()) {
     ctx_.metrics->AddCounter("ivm.propagate.calls");
     ctx_.metrics->AddCounter("ivm.propagate.insert_rows",

@@ -1,6 +1,9 @@
 #ifndef GPIVOT_IVM_PROPAGATE_H_
 #define GPIVOT_IVM_PROPAGATE_H_
 
+#include <set>
+#include <utility>
+
 #include "algebra/plan.h"
 #include "ivm/delta.h"
 #include "util/result.h"
@@ -63,6 +66,10 @@ class DeltaPropagator {
   bool post_built_ = false;
   std::unordered_map<const PlanNode*, std::shared_ptr<const Table>> pre_memo_;
   std::unordered_map<const PlanNode*, std::shared_ptr<const Table>> post_memo_;
+  // Scan aliases already counted as a base access, keyed by (memo table,
+  // node) so a scan read in the pre and post states counts twice, but many
+  // rules sharing one state's alias count once.
+  std::set<std::pair<const void*, const PlanNode*>> scan_reads_;
 };
 
 }  // namespace gpivot::ivm

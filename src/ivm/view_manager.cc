@@ -1,7 +1,9 @@
 #include "ivm/view_manager.h"
 
+#include <algorithm>
 #include <unordered_set>
 
+#include "obs/json_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -9,6 +11,57 @@
 #include "util/string_util.h"
 
 namespace gpivot::ivm {
+
+std::string EpochRecord::ToText() const {
+  std::string out = StrCat("epoch ", seq, " ", entry, ": ", outcome);
+  if (!error.empty()) out += StrCat(" (", error, ")");
+  out += "\n";
+  for (const TableDelta& delta : deltas) {
+    out += StrCat("  delta ", delta.table, ": +", delta.insert_rows, " -",
+                  delta.delete_rows, "\n");
+  }
+  for (const ViewReport& view : views) {
+    out += StrCat("  view ", view.name, " [", view.strategy,
+                  "] rows_after=", view.rows_after, "\n");
+    // Indent the cost tree under its view (strategy already printed above).
+    std::string cost = view.cost.ToText();
+    size_t start = 0;
+    if (cost.rfind("strategy: ", 0) == 0) {
+      start = cost.find('\n');
+      start = start == std::string::npos ? cost.size() : start + 1;
+    }
+    while (start < cost.size()) {
+      size_t end = cost.find('\n', start);
+      if (end == std::string::npos) end = cost.size();
+      out += StrCat("    ", cost.substr(start, end - start), "\n");
+      start = end + 1;
+    }
+  }
+  return out;
+}
+
+std::string EpochRecord::ToJsonLine() const {
+  std::string out =
+      StrCat("{\"seq\": ", seq, ", \"entry\": ", obs::JsonQuote(entry),
+             ", \"outcome\": ", obs::JsonQuote(outcome),
+             ", \"error\": ", obs::JsonQuote(error), ", \"deltas\": [");
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    out += StrCat(i == 0 ? "" : ", ",
+                  "{\"table\": ", obs::JsonQuote(deltas[i].table),
+                  ", \"insert_rows\": ", deltas[i].insert_rows,
+                  ", \"delete_rows\": ", deltas[i].delete_rows, "}");
+  }
+  out += "], \"views\": [";
+  for (size_t i = 0; i < views.size(); ++i) {
+    out += StrCat(i == 0 ? "" : ", ",
+                  "{\"name\": ", obs::JsonQuote(views[i].name),
+                  ", \"strategy\": ", obs::JsonQuote(views[i].strategy),
+                  ", \"rows_after\": ", views[i].rows_after,
+                  ", \"cost\": ", views[i].cost.ToJsonLine(), "}");
+  }
+  out += "]}";
+  return out;
+}
 
 Status ViewManager::DefineView(const std::string& name, PlanPtr query,
                                RefreshStrategy strategy) {
@@ -81,7 +134,11 @@ Status ViewManager::ValidateDeltas(const SourceDeltas& deltas) const {
 }
 
 Status ViewManager::ApplyUpdate(const SourceDeltas& deltas) {
-  GPIVOT_RETURN_NOT_OK(ValidateDeltas(deltas));
+  if (Status st = ValidateDeltas(deltas); !st.ok()) {
+    RecordEpoch("apply_update", deltas, /*staged=*/false, st,
+                /*rejected=*/true);
+    return st;
+  }
   obs::ScopedSpan epoch_span =
       obs::TraceEnabled(exec_context_.tracer)
           ? obs::ScopedSpan(exec_context_.tracer, "epoch")
@@ -90,15 +147,17 @@ Status ViewManager::ApplyUpdate(const SourceDeltas& deltas) {
   EpochUndo undo;
   Status st = RefreshViewsInternal(deltas, &undo);
   if (st.ok()) st = AdvanceBaseInternal(deltas, &undo);
-  if (!st.ok()) {
-    RollbackEpoch(&undo);
-    return st;
-  }
-  return Status::OK();
+  if (!st.ok()) RollbackEpoch(&undo);
+  RecordEpoch("apply_update", deltas, /*staged=*/true, st, /*rejected=*/false);
+  return st;
 }
 
 Status ViewManager::RefreshViews(const SourceDeltas& deltas) {
-  GPIVOT_RETURN_NOT_OK(ValidateDeltas(deltas));
+  if (Status st = ValidateDeltas(deltas); !st.ok()) {
+    RecordEpoch("refresh_views", deltas, /*staged=*/false, st,
+                /*rejected=*/true);
+    return st;
+  }
   obs::ScopedSpan epoch_span =
       obs::TraceEnabled(exec_context_.tracer)
           ? obs::ScopedSpan(exec_context_.tracer, "epoch")
@@ -107,11 +166,17 @@ Status ViewManager::RefreshViews(const SourceDeltas& deltas) {
   EpochUndo undo;
   Status st = RefreshViewsInternal(deltas, &undo);
   if (!st.ok()) RollbackEpoch(&undo);
+  RecordEpoch("refresh_views", deltas, /*staged=*/true, st,
+              /*rejected=*/false);
   return st;
 }
 
 Status ViewManager::AdvanceBase(const SourceDeltas& deltas) {
-  GPIVOT_RETURN_NOT_OK(ValidateDeltas(deltas));
+  if (Status st = ValidateDeltas(deltas); !st.ok()) {
+    RecordEpoch("advance_base", deltas, /*staged=*/false, st,
+                /*rejected=*/true);
+    return st;
+  }
   obs::ScopedSpan epoch_span =
       obs::TraceEnabled(exec_context_.tracer)
           ? obs::ScopedSpan(exec_context_.tracer, "epoch")
@@ -120,6 +185,8 @@ Status ViewManager::AdvanceBase(const SourceDeltas& deltas) {
   EpochUndo undo;
   Status st = AdvanceBaseInternal(deltas, &undo);
   if (!st.ok()) RollbackEpoch(&undo);
+  RecordEpoch("advance_base", deltas, /*staged=*/false, st,
+              /*rejected=*/false);
   return st;
 }
 
@@ -257,6 +324,47 @@ Result<Table> ViewManager::RecomputeFromScratch(
     const std::string& name) const {
   GPIVOT_ASSIGN_OR_RETURN(const MaintenancePlan* plan, GetPlan(name));
   return Evaluate(plan->effective_query(), catalog_, exec_context_);
+}
+
+Result<CostReport> ViewManager::ExplainAnalyze(const std::string& name) const {
+  GPIVOT_ASSIGN_OR_RETURN(const MaintenancePlan* plan, GetPlan(name));
+  return ivm::ExplainAnalyze(*plan);
+}
+
+void ViewManager::RecordEpoch(const char* entry, const SourceDeltas& deltas,
+                              bool staged, const Status& status,
+                              bool rejected) {
+  EpochRecord record;
+  record.seq = ++epoch_seq_;
+  record.entry = entry;
+  record.outcome =
+      rejected ? "rejected" : (status.ok() ? "committed" : "rolled_back");
+  if (!status.ok()) record.error = status.ToString();
+  record.deltas.reserve(deltas.size());
+  for (const auto& [table_name, delta] : deltas) {
+    record.deltas.push_back(
+        EpochRecord::TableDelta{table_name, delta.inserts.num_rows(),
+                                delta.deletes.num_rows()});
+  }
+  std::sort(record.deltas.begin(), record.deltas.end(),
+            [](const EpochRecord::TableDelta& a,
+               const EpochRecord::TableDelta& b) { return a.table < b.table; });
+  if (staged) {
+    record.views.reserve(view_order_.size());
+    for (const std::string& name : view_order_) {
+      const ViewState& state = views_.at(name);
+      EpochRecord::ViewReport report;
+      report.name = name;
+      report.strategy = RefreshStrategyToString(state.plan.strategy());
+      report.rows_after = state.view.num_rows();
+      report.cost = ivm::ExplainAnalyze(state.plan);
+      record.views.push_back(std::move(report));
+    }
+  }
+  last_epoch_ = std::move(record);
+  if (event_log_ != nullptr && event_log_->ok()) {
+    event_log_->Append(last_epoch_->ToJsonLine());
+  }
 }
 
 }  // namespace gpivot::ivm

@@ -1,6 +1,7 @@
 #ifndef GPIVOT_IVM_VIEW_MANAGER_H_
 #define GPIVOT_IVM_VIEW_MANAGER_H_
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -9,9 +10,41 @@
 #include "algebra/plan.h"
 #include "ivm/delta.h"
 #include "ivm/maintenance.h"
+#include "obs/event_log.h"
 #include "util/result.h"
 
 namespace gpivot::ivm {
+
+// Structured report of one maintenance-epoch entry-point call: which entry
+// ran, the per-table delta cardinalities, every view's strategy and
+// EXPLAIN ANALYZE cost report, and the outcome (committed / rolled_back /
+// rejected). Deliberately contains no timings: the record is a pure
+// function of the work, so it is byte-identical at every thread count.
+struct EpochRecord {
+  struct TableDelta {
+    std::string table;
+    uint64_t insert_rows = 0;
+    uint64_t delete_rows = 0;
+  };
+  struct ViewReport {
+    std::string name;
+    std::string strategy;
+    uint64_t rows_after = 0;
+    CostReport cost;
+  };
+
+  uint64_t seq = 0;     // 1-based per-manager epoch counter
+  std::string entry;    // "apply_update" | "refresh_views" | "advance_base"
+  std::string outcome;  // "committed" | "rolled_back" | "rejected"
+  std::string error;    // empty when committed
+  std::vector<TableDelta> deltas;  // sorted by table name
+  std::vector<ViewReport> views;   // definition order; empty when rejected
+
+  // Indented human-readable rendering (delta summary + per-view cost trees).
+  std::string ToText() const;
+  // The single-line JSON document appended to the epoch event log.
+  std::string ToJsonLine() const;
+};
 
 // Owns the base tables and a set of materialized views, keeping the views
 // consistent with the base as delta batches arrive. This is the end-to-end
@@ -26,7 +59,8 @@ namespace gpivot::ivm {
 // everywhere or leaves no trace.
 class ViewManager {
  public:
-  explicit ViewManager(Catalog base) : catalog_(std::move(base)) {}
+  explicit ViewManager(Catalog base)
+      : catalog_(std::move(base)), event_log_(obs::EventLogFromEnv()) {}
 
   const Catalog& catalog() const { return catalog_; }
   Catalog* mutable_catalog() { return &catalog_; }
@@ -80,6 +114,22 @@ class ViewManager {
   // against the current base tables.
   Result<Table> RecomputeFromScratch(const std::string& name) const;
 
+  // EXPLAIN ANALYZE for one view: its effective query annotated with the
+  // per-node actuals of the most recent refresh (all zero before the first
+  // epoch). Render with CostReport::ToText / ToJson.
+  Result<CostReport> ExplainAnalyze(const std::string& name) const;
+
+  // The structured report of the most recent epoch entry-point call
+  // (including rejected and rolled-back ones); nullopt before the first.
+  const std::optional<EpochRecord>& LastEpochReport() const {
+    return last_epoch_;
+  }
+
+  // Destination for one-line-per-epoch JSONL records. Defaults to the
+  // process-wide GPIVOT_EVENT_LOG sink; nullptr disables emission. The log
+  // must outlive this manager.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
+
  private:
   struct ViewState {
     MaintenancePlan plan;
@@ -96,6 +146,12 @@ class ViewManager {
   Status RefreshViewsInternal(const SourceDeltas& deltas, EpochUndo* undo);
   Status AdvanceBaseInternal(const SourceDeltas& deltas, EpochUndo* undo);
   void RollbackEpoch(EpochUndo* undo);
+  // Builds last_epoch_ and appends its JSONL line to the event log.
+  // `staged` says whether this entry ran the stage phase (view cost reports
+  // are only meaningful then); `rejected` marks validation failures that
+  // never started the epoch.
+  void RecordEpoch(const char* entry, const SourceDeltas& deltas, bool staged,
+                   const Status& status, bool rejected);
 
   Catalog catalog_;
   std::unordered_map<std::string, ViewState> views_;
@@ -104,6 +160,9 @@ class ViewManager {
   // iteration.
   std::vector<std::string> view_order_;
   ExecContext exec_context_;
+  uint64_t epoch_seq_ = 0;
+  std::optional<EpochRecord> last_epoch_;
+  obs::EventLog* event_log_ = nullptr;
 };
 
 }  // namespace gpivot::ivm

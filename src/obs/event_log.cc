@@ -1,0 +1,31 @@
+#include "obs/event_log.h"
+
+#include <cstdlib>
+
+namespace gpivot::obs {
+
+EventLog::EventLog(std::string path) : path_(std::move(path)) {
+  out_.open(path_, std::ios::out | std::ios::app);
+  if (!out_.is_open() || out_.fail()) {
+    error_ = "cannot open '" + path_ + "' for appending";
+  }
+}
+
+void EventLog::Append(const std::string& json_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok()) return;
+  out_ << json_line << '\n';
+  out_.flush();
+}
+
+EventLog* EventLogFromEnv() {
+  static EventLog* const kFromEnv = []() -> EventLog* {
+    const char* value = std::getenv("GPIVOT_EVENT_LOG");
+    if (value == nullptr || value[0] == '\0') return nullptr;
+    // Leaked: see header.
+    return new EventLog(value);
+  }();
+  return kFromEnv;
+}
+
+}  // namespace gpivot::obs

@@ -48,6 +48,33 @@ void HistogramData::Merge(const HistogramData& other) {
   for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
 }
 
+double HistogramData::QuantileMs(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate within the bucket's [2^(i-bias), 2^(i+1-bias)) range;
+    // bucket 0 also holds everything below its lower edge, so it starts
+    // at 0.
+    double lower =
+        i == 0 ? 0.0 : std::exp2(static_cast<int>(i) - kBucketBias);
+    double upper = std::exp2(static_cast<int>(i) + 1 - kBucketBias);
+    double fraction =
+        (target - before) / static_cast<double>(buckets[i]);
+    double value = lower + fraction * (upper - lower);
+    if (value < min_ms) value = min_ms;
+    if (value > max_ms) value = max_ms;
+    return value;
+  }
+  return max_ms;
+}
+
 std::string MetricsSnapshot::ToString() const {
   std::ostringstream out;
   for (const auto& [name, value] : counters) {
@@ -56,7 +83,9 @@ std::string MetricsSnapshot::ToString() const {
   for (const auto& [name, h] : histograms) {
     out << name << " count=" << h.count << " total_ms=" << h.total_ms
         << " mean_ms=" << h.mean_ms() << " min_ms=" << h.min_ms
-        << " max_ms=" << h.max_ms << "\n";
+        << " max_ms=" << h.max_ms << " p50_ms=" << h.QuantileMs(0.50)
+        << " p95_ms=" << h.QuantileMs(0.95)
+        << " p99_ms=" << h.QuantileMs(0.99) << "\n";
   }
   return out.str();
 }
@@ -78,11 +107,49 @@ std::string MetricsSnapshot::ToJson(int indent) const {
     out << (first ? "\n" : ",\n") << pad << "    " << JsonQuote(name)
         << ": {\"count\": " << h.count << ", \"total_ms\": " << h.total_ms
         << ", \"mean_ms\": " << h.mean_ms() << ", \"min_ms\": " << h.min_ms
-        << ", \"max_ms\": " << h.max_ms << "}";
+        << ", \"max_ms\": " << h.max_ms
+        << ", \"p50_ms\": " << h.QuantileMs(0.50)
+        << ", \"p95_ms\": " << h.QuantileMs(0.95)
+        << ", \"p99_ms\": " << h.QuantileMs(0.99) << "}";
     first = false;
   }
   if (!first) out << "\n" << pad << "  ";
   out << "}\n" << pad << "}";
+  return out.str();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; we map everything else
+// (the registry uses '.') to '_' and prefix with the exporter namespace.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "gpivot_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " summary\n";
+    out << prom << "{quantile=\"0.5\"} " << h.QuantileMs(0.50) << "\n";
+    out << prom << "{quantile=\"0.95\"} " << h.QuantileMs(0.95) << "\n";
+    out << prom << "{quantile=\"0.99\"} " << h.QuantileMs(0.99) << "\n";
+    out << prom << "_sum " << h.total_ms << "\n";
+    out << prom << "_count " << h.count << "\n";
+  }
   return out.str();
 }
 

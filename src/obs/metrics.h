@@ -31,6 +31,12 @@ struct HistogramData {
   void Record(double ms);
   void Merge(const HistogramData& other);
   double mean_ms() const { return count == 0 ? 0.0 : total_ms / count; }
+
+  // Estimated q-quantile (q in [0, 1]) by linear interpolation within the
+  // log2 bucket holding that rank, clamped to [min_ms, max_ms]; 0 when
+  // empty. Exact observed values are not kept, so this is a bucket-
+  // resolution estimate, like any Prometheus histogram quantile.
+  double QuantileMs(double q) const;
 };
 
 // A merged, sorted view of a registry's state. std::map keys make every
@@ -44,6 +50,10 @@ struct MetricsSnapshot {
   // A JSON object {"counters": {...}, "histograms": {...}}; `indent` spaces
   // of leading indentation per line, for embedding in a larger document.
   std::string ToJson(int indent = 0) const;
+  // Prometheus text exposition: counters as `gpivot_<name>` counter
+  // samples, histograms as summaries (p50/p95/p99 quantile labels plus
+  // _sum/_count). Characters outside [a-zA-Z0-9_] become '_'.
+  std::string ToPrometheusText() const;
 };
 
 // A registry of named monotonic counters and latency histograms.

@@ -10,11 +10,14 @@
 #include <vector>
 
 namespace gpivot::obs {
+class CostCollector;
 class MetricsRegistry;
 class Tracer;
 }  // namespace gpivot::obs
 
 namespace gpivot {
+
+struct PlanNodeIds;
 
 // Concurrency knob threaded through the operator APIs (HashJoin, GroupBy,
 // GPivotParallel, Evaluate, the maintenance planner, ViewManager). The
@@ -42,6 +45,18 @@ struct ExecContext {
   // num_threads; only histogram timings vary.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+
+  // Plan-shape cost accounting (src/obs/cost.h). When `cost` is set and
+  // `cost_node` is a valid id from `plan_ids` (AssignNodeIds in
+  // algebra/plan.h), operators add their rows-in/rows-out/build-probe
+  // actuals to that node's NodeStats. The maintenance planner attaches a
+  // per-plan collector in Stage and the evaluator/propagator re-resolve
+  // cost_node as they descend; everything stays off (-1 / nullptr) for
+  // callers that never opt in. Stats are pure functions of the work, so
+  // they share the counters' cross-thread-count determinism guarantee.
+  obs::CostCollector* cost = nullptr;
+  const PlanNodeIds* plan_ids = nullptr;
+  int cost_node = -1;
 
   bool ShouldParallelize(size_t rows) const {
     return num_threads > 1 && rows >= min_parallel_rows && rows >= 2;

@@ -6,10 +6,14 @@
 // order keys — this test is the contract's enforcement.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "ivm/view_manager.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "test_util.h"
@@ -108,6 +112,60 @@ TEST(ObsDeterminismTest, EpochSpanTreeIdenticalAcrossThreadCounts) {
   ObservedEpoch parallel = RunObservedEpoch(4);
   EXPECT_EQ(sequential.span_tree, parallel.span_tree)
       << "span structure depends on the schedule";
+}
+
+// One epoch's cost-accounting artifacts at `threads`: every view's EXPLAIN
+// ANALYZE rendering plus the raw bytes of the epoch event log.
+struct CostArtifacts {
+  std::string explain_text;  // v1+v2+v3 ToText() concatenated
+  std::string explain_json;  // v1+v2+v3 ToJsonLine() concatenated
+  std::string event_log_bytes;
+};
+
+CostArtifacts RunCostEpoch(size_t threads) {
+  std::string log_path = ::testing::TempDir() + "/gpivot_det_" +
+                         std::to_string(threads) + ".jsonl";
+  std::remove(log_path.c_str());
+  obs::EventLog log(log_path);
+  EXPECT_TRUE(log.ok()) << log.error();
+  ExecContext ctx;
+  ctx.num_threads = threads;
+  ctx.min_parallel_rows = 1;
+  tpch::Config config = SmallConfig();
+  ViewManager manager = MakeThreeViewManager(config, ctx);
+  manager.set_event_log(&log);
+  SourceDeltas deltas =
+      tpch::MakeLineitemInsertsMixed(manager.catalog(), config, 0.05, 42)
+          .value();
+  EXPECT_TRUE(manager.ApplyUpdate(deltas).ok());
+  CostArtifacts artifacts;
+  for (const char* name : {"v1", "v2", "v3"}) {
+    CostReport report = manager.ExplainAnalyze(name).value();
+    artifacts.explain_text += report.ToText();
+    artifacts.explain_json += report.ToJsonLine() + "\n";
+  }
+  std::ifstream in(log_path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  artifacts.event_log_bytes = buffer.str();
+  std::remove(log_path.c_str());
+  return artifacts;
+}
+
+TEST(ObsDeterminismTest, CostReportsAndEpochLogIdenticalAcrossThreadCounts) {
+  CostArtifacts sequential = RunCostEpoch(1);
+  // The reports carry real content: per-node actuals and an epoch record.
+  ASSERT_NE(sequential.explain_text.find("SCAN lineitem"), std::string::npos)
+      << sequential.explain_text;
+  ASSERT_NE(sequential.event_log_bytes.find("\"outcome\": \"committed\""),
+            std::string::npos)
+      << sequential.event_log_bytes;
+  // No timings anywhere: stats are pure functions of the work, so both
+  // renderings and the JSONL file are byte-identical at any thread count.
+  CostArtifacts parallel = RunCostEpoch(4);
+  EXPECT_EQ(sequential.explain_text, parallel.explain_text);
+  EXPECT_EQ(sequential.explain_json, parallel.explain_json);
+  EXPECT_EQ(sequential.event_log_bytes, parallel.event_log_bytes);
 }
 
 TEST(ObsDeterminismTest, UnobservedEpochMatchesObservedResults) {

@@ -152,5 +152,63 @@ TEST(JsonUtilTest, ValidatorAcceptsAndRejects) {
   EXPECT_FALSE(IsValidJson("01"));
 }
 
+TEST(HistogramQuantileTest, EstimatesWithinBucketResolution) {
+  obs::HistogramData h;
+  EXPECT_EQ(h.QuantileMs(0.5), 0.0);  // empty
+  // 100 samples spread uniformly over [1, 100] ms.
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  double p50 = h.QuantileMs(0.5);
+  double p95 = h.QuantileMs(0.95);
+  double p99 = h.QuantileMs(0.99);
+  // Log2 buckets: estimates land within the true value's bucket (a factor
+  // of 2), and quantiles are monotone and clamped to the observed range.
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max_ms);
+  EXPECT_GE(h.QuantileMs(0.0), h.min_ms);
+
+  // A single sample: every quantile is that sample.
+  obs::HistogramData single;
+  single.Record(7.0);
+  EXPECT_EQ(single.QuantileMs(0.5), 7.0);
+  EXPECT_EQ(single.QuantileMs(0.99), 7.0);
+}
+
+TEST(MetricsSnapshotTest, JsonAndTextCarryQuantiles) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  for (int i = 0; i < 32; ++i) registry.RecordLatency("stage_ms", 4.0 + i);
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  std::string json = snapshot.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"p50_ms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_ms\""), std::string::npos) << json;
+  EXPECT_NE(snapshot.ToString().find("p95_ms="), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, PrometheusExposition) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.AddCounter("exec.join.calls", 3);
+  registry.AddCounter("ivm.merge.updates", 5);
+  registry.RecordLatency("ivm.stage_ms", 12.0);
+  std::string text = registry.Snapshot().ToPrometheusText();
+  // Names are sanitized into the gpivot_ namespace, one TYPE line each.
+  EXPECT_NE(text.find("# TYPE gpivot_exec_join_calls counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gpivot_exec_join_calls 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gpivot_ivm_stage_ms summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpivot_ivm_stage_ms{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpivot_ivm_stage_ms_count 1"), std::string::npos);
+  // Every line is either a comment or `name[{labels}] value`.
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(registry.Snapshot().counters.count("exec.join.calls"), 1u);
+}
+
 }  // namespace
 }  // namespace gpivot
