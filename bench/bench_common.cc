@@ -32,43 +32,6 @@ double EnvDouble(const char* name, double fallback) {
   return value == nullptr ? fallback : std::atof(value);
 }
 
-// Integer env vars (seeds, rep counts) must not round-trip through double:
-// atof silently truncates large seeds and accepts garbage as 0.
-uint64_t EnvUint64(const char* name, uint64_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || value[0] == '\0') return fallback;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0') return fallback;
-  return static_cast<uint64_t>(parsed);
-}
-
-// GPIVOT_BENCH_REPS: identical-epoch repetitions per (strategy, fraction);
-// the JSON reports min and median so one descheduled rep doesn't skew the
-// trajectory.
-size_t BenchReps() {
-  static const size_t kReps = [] {
-    uint64_t reps = EnvUint64("GPIVOT_BENCH_REPS", 3);
-    return reps == 0 ? size_t{1} : static_cast<size_t>(reps);
-  }();
-  return kReps;
-}
-
-// One (strategy, fraction) measurement inside a figure sweep.
-struct BenchRecord {
-  std::string strategy;
-  double fraction = 0;
-  double wall_ms = 0;         // min across reps
-  double wall_ms_median = 0;  // median across reps
-  size_t reps = 0;
-  size_t view_rows = 0;
-  size_t delta_rows = 0;
-  std::string metrics_json;  // last rep's snapshot; empty when disabled
-  std::string cost_json;     // last rep's per-node cost report (JSON line)
-  std::string cost_text;     // same report, annotated-tree rendering
-  std::string prom_text;     // last rep's Prometheus exposition
-};
-
 // The environment variables the harness and the libraries it links read.
 // Anything else spelled GPIVOT_* is almost certainly a typo (a silently
 // ignored GPIVOT_BENCH_THREDS would publish wrong numbers), so warn.
@@ -76,8 +39,11 @@ constexpr const char* kKnownEnvVars[] = {
     "GPIVOT_BENCH_SF",      "GPIVOT_BENCH_SEED",  "GPIVOT_BENCH_THREADS",
     "GPIVOT_BENCH_REPS",    "GPIVOT_BENCH_VERIFY", "GPIVOT_BENCH_AUDIT",
     "GPIVOT_BENCH_JSON_DIR", "GPIVOT_METRICS",     "GPIVOT_TRACE_DIR",
-    "GPIVOT_EVENT_LOG",
+    "GPIVOT_EVENT_LOG",     "GPIVOT_BENCH_MICRO_BATCHES",
+    "GPIVOT_BATCH_MAX_BATCHES", "GPIVOT_BATCH_MAX_NET_ROWS",
 };
+
+using BenchRecord = FigureRecord;
 
 // Warns on unrecognized GPIVOT_* variables and exits (code 2) when an
 // artifact sink — GPIVOT_TRACE_DIR or GPIVOT_EVENT_LOG — is unwritable:
@@ -363,11 +329,53 @@ void RunRefresh(benchmark::State& state, const char* figure_name, ViewId view,
 
 }  // namespace
 
+// Integer env vars (seeds, rep counts, thread counts) must not round-trip
+// through double (atof silently truncates large seeds) and must not be
+// lenient: atol-style parsing reads "4x" as 4 and a silent fallback turns a
+// typo into a mislabeled published run. Anything but a fully-consumed
+// non-negative decimal integer is fatal (exit 2, like an unwritable sink).
+uint64_t BenchEnvUint64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (value[0] == '-' || end == value || *end != '\0') {
+    std::fprintf(stderr,
+                 "bench: %s='%s' is not a non-negative integer\n", name,
+                 value);
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+// GPIVOT_BENCH_REPS: identical-epoch repetitions per (strategy, fraction);
+// the JSON reports min and median so one descheduled rep doesn't skew the
+// trajectory.
+size_t BenchReps() {
+  static const size_t kReps = [] {
+    uint64_t reps = BenchEnvUint64("GPIVOT_BENCH_REPS", 3);
+    return reps == 0 ? size_t{1} : static_cast<size_t>(reps);
+  }();
+  return kReps;
+}
+
+void ValidateBenchEnvOnce() {
+  static const bool kValidated = [] {
+    ValidateBenchEnv();
+    return true;
+  }();
+  (void)kValidated;
+}
+
+void AddFigureRecord(const std::string& figure, FigureRecord record) {
+  BenchJsonRegistry::Get().Add(figure, std::move(record));
+}
+
 const BenchContext& SharedContext() {
   static const BenchContext* const kContext = [] {
     auto* context = new BenchContext();
     context->config.scale_factor = EnvDouble("GPIVOT_BENCH_SF", 0.02);
-    context->config.seed = EnvUint64("GPIVOT_BENCH_SEED", 20050405);
+    context->config.seed = BenchEnvUint64("GPIVOT_BENCH_SEED", 20050405);
     context->data = tpch::Generate(context->config);
     return context;
   }();
@@ -376,11 +384,12 @@ const BenchContext& SharedContext() {
 
 ExecContext BenchExecContext() {
   ExecContext ctx;
-  const char* value = std::getenv("GPIVOT_BENCH_THREADS");
-  if (value != nullptr) {
-    long parsed = std::atol(value);
-    if (parsed > 0) ctx.num_threads = static_cast<size_t>(parsed);
+  uint64_t threads = BenchEnvUint64("GPIVOT_BENCH_THREADS", 1);
+  if (threads == 0) {
+    std::fprintf(stderr, "bench: GPIVOT_BENCH_THREADS must be >= 1\n");
+    std::exit(2);
   }
+  ctx.num_threads = static_cast<size_t>(threads);
   ctx.metrics = obs::MetricsFromEnv();
   ctx.tracer = obs::TracerFromEnv();
   return ctx;
@@ -394,11 +403,7 @@ const std::vector<double>& Fractions() {
 
 void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
                     const std::vector<ivm::RefreshStrategy>& strategies) {
-  static const bool kEnvValidated = [] {
-    ValidateBenchEnv();
-    return true;
-  }();
-  (void)kEnvValidated;
+  ValidateBenchEnvOnce();
   for (ivm::RefreshStrategy strategy : strategies) {
     for (double fraction : Fractions()) {
       std::string name =

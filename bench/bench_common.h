@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "algebra/plan.h"
@@ -70,6 +72,45 @@ void RegisterFigure(const char* figure_name, ViewId view, WorkloadKind kind,
 
 // Delta fractions of the lineitem table (the paper sweeps 1%–10%).
 const std::vector<double>& Fractions();
+
+// Strict integer env parsing shared by every GPIVOT_BENCH_* integer knob:
+// unset/empty yields `fallback`; anything that does not consume the whole
+// value as a non-negative decimal integer ("4x", "-1", "3.5") prints the
+// offending variable and exits 2 — the same fail-fast path as an
+// unwritable trace dir, because a silently mis-parsed knob publishes wrong
+// numbers.
+uint64_t BenchEnvUint64(const char* name, uint64_t fallback);
+
+// Identical-epoch repetitions per measured point (GPIVOT_BENCH_REPS,
+// default 3; 0 is clamped to 1).
+size_t BenchReps();
+
+// Runs the GPIVOT_* environment validation (unknown-var warnings, sink
+// writability, exit 2 on unusable sinks) exactly once per process. Every
+// figure registration path must call it.
+void ValidateBenchEnvOnce();
+
+// One measured record of a figure sweep, as it lands in
+// BENCH_<figure>.json. RunRefresh-based figures fill this internally;
+// custom figures (the micro-batch pipeline bench) build it themselves and
+// hand it to AddFigureRecord.
+struct FigureRecord {
+  std::string strategy;
+  double fraction = 0;
+  double wall_ms = 0;         // min across reps
+  double wall_ms_median = 0;  // median across reps
+  size_t reps = 0;
+  size_t view_rows = 0;
+  size_t delta_rows = 0;
+  std::string metrics_json;  // last rep's snapshot; empty when disabled
+  std::string cost_json;     // last rep's per-node cost report (JSON line)
+  std::string cost_text;     // same report, annotated-tree rendering
+  std::string prom_text;     // last rep's Prometheus exposition
+};
+
+// Appends one record to `figure`'s BENCH_<figure>.json (written at process
+// exit, see RegisterFigure).
+void AddFigureRecord(const std::string& figure, FigureRecord record);
 
 }  // namespace gpivot::bench
 

@@ -12,6 +12,17 @@
 
 namespace gpivot::ivm {
 
+namespace {
+
+bool AllDeltasEmpty(const SourceDeltas& deltas) {
+  for (const auto& [table_name, delta] : deltas) {
+    if (!delta.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::string EpochRecord::ToText() const {
   std::string out = StrCat("epoch ", seq, " ", entry, ": ", outcome);
   if (!error.empty()) out += StrCat(" (", error, ")");
@@ -106,12 +117,19 @@ Status ViewManager::ValidateDeltas(const SourceDeltas& deltas) const {
           StrCat("delta for unknown table '", table_name, "'"));
     }
     const Table& table = **table_or;
+    // Even an *empty* side must match: the DeltaBatcher merges sides across
+    // batches, so a wrong schema on an empty side can be carried into a
+    // non-empty merged side and only blow up epochs later.
     auto check_schema = [&](const Table& side, const char* which) -> Status {
-      if (side.empty() || side.schema() == table.schema()) return Status::OK();
+      if (side.schema() == table.schema()) return Status::OK();
       return Status::InvalidArgument(
           StrCat(which, " delta for table '", table_name,
                  "' does not match its schema (", side.schema().num_columns(),
-                 " vs ", table.schema().num_columns(), " columns)"));
+                 " vs ", table.schema().num_columns(), " columns",
+                 side.empty() ? "; the side is empty but its schema still "
+                                "travels with the delta"
+                              : "",
+                 ")"));
     };
     GPIVOT_RETURN_NOT_OK(check_schema(delta.deletes, "delete"));
     GPIVOT_RETURN_NOT_OK(check_schema(delta.inserts, "insert"));
@@ -134,10 +152,22 @@ Status ViewManager::ValidateDeltas(const SourceDeltas& deltas) const {
 }
 
 Status ViewManager::ApplyUpdate(const SourceDeltas& deltas) {
+  return ApplyUpdateInternal("apply_update", deltas);
+}
+
+Status ViewManager::BatchedApplyUpdate(const SourceDeltas& deltas) {
+  return ApplyUpdateInternal("batched_apply_update", deltas);
+}
+
+Status ViewManager::ApplyUpdateInternal(const char* entry,
+                                        const SourceDeltas& deltas) {
   if (Status st = ValidateDeltas(deltas); !st.ok()) {
-    RecordEpoch("apply_update", deltas, /*staged=*/false, st,
-                /*rejected=*/true);
+    RecordEpoch(entry, deltas, /*staged=*/false, st, /*rejected=*/true);
     return st;
+  }
+  if (AllDeltasEmpty(deltas)) {
+    RecordNoOpEpoch(entry, deltas);
+    return Status::OK();
   }
   obs::ScopedSpan epoch_span =
       obs::TraceEnabled(exec_context_.tracer)
@@ -148,7 +178,7 @@ Status ViewManager::ApplyUpdate(const SourceDeltas& deltas) {
   Status st = RefreshViewsInternal(deltas, &undo);
   if (st.ok()) st = AdvanceBaseInternal(deltas, &undo);
   if (!st.ok()) RollbackEpoch(&undo);
-  RecordEpoch("apply_update", deltas, /*staged=*/true, st, /*rejected=*/false);
+  RecordEpoch(entry, deltas, /*staged=*/true, st, /*rejected=*/false);
   return st;
 }
 
@@ -157,6 +187,10 @@ Status ViewManager::RefreshViews(const SourceDeltas& deltas) {
     RecordEpoch("refresh_views", deltas, /*staged=*/false, st,
                 /*rejected=*/true);
     return st;
+  }
+  if (AllDeltasEmpty(deltas)) {
+    RecordNoOpEpoch("refresh_views", deltas);
+    return Status::OK();
   }
   obs::ScopedSpan epoch_span =
       obs::TraceEnabled(exec_context_.tracer)
@@ -176,6 +210,10 @@ Status ViewManager::AdvanceBase(const SourceDeltas& deltas) {
     RecordEpoch("advance_base", deltas, /*staged=*/false, st,
                 /*rejected=*/true);
     return st;
+  }
+  if (AllDeltasEmpty(deltas)) {
+    RecordNoOpEpoch("advance_base", deltas);
+    return Status::OK();
   }
   obs::ScopedSpan epoch_span =
       obs::TraceEnabled(exec_context_.tracer)
@@ -361,6 +399,32 @@ void ViewManager::RecordEpoch(const char* entry, const SourceDeltas& deltas,
       record.views.push_back(std::move(report));
     }
   }
+  last_epoch_ = std::move(record);
+  if (event_log_ != nullptr && event_log_->ok()) {
+    event_log_->Append(last_epoch_->ToJsonLine());
+  }
+}
+
+void ViewManager::RecordNoOpEpoch(const char* entry,
+                                  const SourceDeltas& deltas) {
+  if (exec_context_.metrics != nullptr && exec_context_.metrics->enabled()) {
+    exec_context_.metrics->AddCounter("ivm.epoch.no_ops");
+  }
+  EpochRecord record;
+  record.seq = epoch_seq_;  // not consumed: seq counts epochs that did work
+  record.entry = entry;
+  record.outcome = "no_op";
+  // The batch may still name tables (all with zero rows); keep them so the
+  // log shows what the caller handed in.
+  record.deltas.reserve(deltas.size());
+  for (const auto& [table_name, delta] : deltas) {
+    record.deltas.push_back(
+        EpochRecord::TableDelta{table_name, delta.inserts.num_rows(),
+                                delta.deletes.num_rows()});
+  }
+  std::sort(record.deltas.begin(), record.deltas.end(),
+            [](const EpochRecord::TableDelta& a,
+               const EpochRecord::TableDelta& b) { return a.table < b.table; });
   last_epoch_ = std::move(record);
   if (event_log_ != nullptr && event_log_->ok()) {
     event_log_->Append(last_epoch_->ToJsonLine());

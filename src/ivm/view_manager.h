@@ -33,10 +33,17 @@ struct EpochRecord {
     CostReport cost;
   };
 
-  uint64_t seq = 0;     // 1-based per-manager epoch counter
-  std::string entry;    // "apply_update" | "refresh_views" | "advance_base"
-  std::string outcome;  // "committed" | "rolled_back" | "rejected"
-  std::string error;    // empty when committed
+  // 1-based per-manager epoch counter. "no_op" records do not consume a
+  // sequence number — they carry the seq of the most recent real epoch
+  // (0 before any) — so timer-driven empty flushes never fragment the
+  // numbering of epochs that did work.
+  uint64_t seq = 0;
+  // "apply_update" | "batched_apply_update" | "refresh_views" |
+  // "advance_base"
+  std::string entry;
+  // "committed" | "rolled_back" | "rejected" | "no_op"
+  std::string outcome;
+  std::string error;  // empty when committed / no_op
   std::vector<TableDelta> deltas;  // sorted by table name
   std::vector<ViewReport> views;   // definition order; empty when rejected
 
@@ -88,7 +95,19 @@ class ViewManager {
   // On any failure — malformed deltas, a refresh error, or an injected
   // fault — all views and base tables are left byte-identical to their
   // pre-call state.
+  //
+  // An all-empty batch (no Δ or ∇ rows anywhere, including an empty map)
+  // short-circuits before staging: nothing is staged or committed, no
+  // epoch sequence number is consumed, and the epoch record carries the
+  // cheap "no_op" outcome. The DeltaBatcher flushes on external triggers
+  // (a serving layer's timer), so empty batches are the common case there.
   Status ApplyUpdate(const SourceDeltas& deltas);
+
+  // Identical to ApplyUpdate but records the epoch under the
+  // "batched_apply_update" entry tag: the marker that `deltas` is the
+  // compacted net of many ingested micro-batches (see ivm::DeltaBatcher),
+  // so epoch logs can tell one-batch-per-epoch traffic from batched flushes.
+  Status BatchedApplyUpdate(const SourceDeltas& deltas);
 
   // The two halves of ApplyUpdate, exposed separately so benchmarks can
   // time the view-maintenance work in isolation (the paper's refresh cost
@@ -102,6 +121,9 @@ class ViewManager {
   // unknown tables (NotFound), schema/arity mismatches (InvalidArgument),
   // and duplicate keys within a keyed table's insert delta
   // (ConstraintViolation). Every epoch entry point calls this first.
+  // Schema equality is required even for an *empty* delta side: the
+  // DeltaBatcher merges sides across batches, so a wrong schema riding on
+  // an empty side could later surface on a non-empty merged side.
   Status ValidateDeltas(const SourceDeltas& deltas) const;
 
   // Consistency auditor: verifies every materialized view equals its
@@ -143,6 +165,9 @@ class ViewManager {
     std::vector<std::pair<std::string, TableUndo>> tables;
   };
 
+  // Shared body of ApplyUpdate / BatchedApplyUpdate; `entry` tags the
+  // epoch record.
+  Status ApplyUpdateInternal(const char* entry, const SourceDeltas& deltas);
   Status RefreshViewsInternal(const SourceDeltas& deltas, EpochUndo* undo);
   Status AdvanceBaseInternal(const SourceDeltas& deltas, EpochUndo* undo);
   void RollbackEpoch(EpochUndo* undo);
@@ -152,6 +177,9 @@ class ViewManager {
   // never started the epoch.
   void RecordEpoch(const char* entry, const SourceDeltas& deltas, bool staged,
                    const Status& status, bool rejected);
+  // The cheap record for an all-empty batch: outcome "no_op", no views
+  // section, no sequence number consumed.
+  void RecordNoOpEpoch(const char* entry, const SourceDeltas& deltas);
 
   Catalog catalog_;
   std::unordered_map<std::string, ViewState> views_;

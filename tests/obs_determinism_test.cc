@@ -11,7 +11,9 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "ivm/batcher.h"
 #include "ivm/view_manager.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -163,6 +165,106 @@ TEST(ObsDeterminismTest, CostReportsAndEpochLogIdenticalAcrossThreadCounts) {
   // No timings anywhere: stats are pure functions of the work, so both
   // renderings and the JSONL file are byte-identical at any thread count.
   CostArtifacts parallel = RunCostEpoch(4);
+  EXPECT_EQ(sequential.explain_text, parallel.explain_text);
+  EXPECT_EQ(sequential.explain_json, parallel.explain_json);
+  EXPECT_EQ(sequential.event_log_bytes, parallel.event_log_bytes);
+}
+
+// A batched-ingest epoch's artifacts at `threads`: the flushed views' rows,
+// the counter snapshot (ivm.batcher.* included), every view's EXPLAIN
+// ANALYZE rendering, and the raw epoch event-log bytes.
+struct BatcherArtifacts {
+  std::map<std::string, std::vector<Row>> view_rows;
+  std::map<std::string, uint64_t> counters;
+  std::string explain_text;
+  std::string explain_json;
+  std::string event_log_bytes;
+};
+
+// Churn batches over one new-key workload (batch b inserts chunk b and
+// retracts chunk b-1), as in bench_micro_batch: most rows cancel in the
+// batcher, so the flush exercises compaction before the parallel staging
+// whose determinism is under test.
+std::vector<SourceDeltas> ChurnBatches(const ViewManager& manager,
+                                       const tpch::Config& config,
+                                       size_t num_batches) {
+  SourceDeltas workload =
+      tpch::MakeLineitemInsertsNewKeys(manager.catalog(), config, 0.06, 42)
+          .value();
+  const Table& inserts = workload.at("lineitem").inserts;
+  const std::vector<Row>& rows = inserts.rows();
+  size_t n = rows.size();
+  std::vector<SourceDeltas> batches;
+  for (size_t b = 0; b < num_batches; ++b) {
+    ivm::Delta delta = ivm::Delta::Empty(inserts.schema());
+    for (size_t i = b * n / num_batches; i < (b + 1) * n / num_batches; ++i) {
+      delta.inserts.AddRow(rows[i]);
+    }
+    if (b > 0) {
+      for (size_t i = (b - 1) * n / num_batches; i < b * n / num_batches;
+           ++i) {
+        delta.deletes.AddRow(rows[i]);
+      }
+    }
+    SourceDeltas deltas;
+    deltas.emplace("lineitem", std::move(delta));
+    batches.push_back(std::move(deltas));
+  }
+  return batches;
+}
+
+BatcherArtifacts RunBatchedEpoch(size_t threads) {
+  std::string log_path = ::testing::TempDir() + "/gpivot_batch_det_" +
+                         std::to_string(threads) + ".jsonl";
+  std::remove(log_path.c_str());
+  obs::EventLog log(log_path);
+  EXPECT_TRUE(log.ok()) << log.error();
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  ExecContext ctx;
+  ctx.num_threads = threads;
+  ctx.min_parallel_rows = 1;
+  ctx.metrics = &registry;
+  tpch::Config config = SmallConfig();
+  ViewManager manager = MakeThreeViewManager(config, ctx);
+  manager.set_event_log(&log);
+  std::vector<SourceDeltas> batches = ChurnBatches(manager, config, 4);
+  registry.Reset();
+  ivm::DeltaBatcher batcher(&manager);
+  for (const SourceDeltas& batch : batches) {
+    EXPECT_TRUE(batcher.Ingest(batch).ok());
+  }
+  EXPECT_TRUE(batcher.Flush().ok());
+  BatcherArtifacts artifacts;
+  artifacts.counters = registry.Snapshot().counters;
+  for (const char* name : {"v1", "v2", "v3"}) {
+    artifacts.view_rows[name] = manager.GetView(name).value()->table().rows();
+    CostReport report = manager.ExplainAnalyze(name).value();
+    artifacts.explain_text += report.ToText();
+    artifacts.explain_json += report.ToJsonLine() + "\n";
+  }
+  std::ifstream in(log_path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  artifacts.event_log_bytes = buffer.str();
+  std::remove(log_path.c_str());
+  return artifacts;
+}
+
+TEST(ObsDeterminismTest, BatcherFlushArtifactsIdenticalAcrossThreadCounts) {
+  BatcherArtifacts sequential = RunBatchedEpoch(1);
+  // The flush really went through the batcher and landed one epoch.
+  ASSERT_GT(sequential.counters["ivm.batcher.rows_cancelled"], 0u);
+  ASSERT_EQ(sequential.counters["ivm.batcher.flushes"], 1u);
+  ASSERT_EQ(sequential.counters["ivm.advance.tables"], 1u);
+  ASSERT_NE(sequential.event_log_bytes.find("\"entry\": \"batched_apply_update\""),
+            std::string::npos)
+      << sequential.event_log_bytes;
+  BatcherArtifacts parallel = RunBatchedEpoch(4);
+  EXPECT_EQ(sequential.view_rows, parallel.view_rows)
+      << "flushed view rows depend on the schedule";
+  EXPECT_EQ(sequential.counters, parallel.counters)
+      << "batcher/epoch counters leaked scheduling dependence";
   EXPECT_EQ(sequential.explain_text, parallel.explain_text);
   EXPECT_EQ(sequential.explain_json, parallel.explain_json);
   EXPECT_EQ(sequential.event_log_bytes, parallel.event_log_bytes);
