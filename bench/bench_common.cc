@@ -17,8 +17,10 @@
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/recovery.h"
 #include "tpch/views.h"
 #include "util/check.h"
+#include "util/file_io.h"
 #include "util/string_util.h"
 
 namespace gpivot::bench {
@@ -41,6 +43,7 @@ constexpr const char* kKnownEnvVars[] = {
     "GPIVOT_BENCH_JSON_DIR", "GPIVOT_METRICS",     "GPIVOT_TRACE_DIR",
     "GPIVOT_EVENT_LOG",     "GPIVOT_BENCH_MICRO_BATCHES",
     "GPIVOT_BATCH_MAX_BATCHES", "GPIVOT_BATCH_MAX_NET_ROWS",
+    "GPIVOT_WAL_DIR",       "GPIVOT_CHECKPOINT_EVERY_N_EPOCHS",
 };
 
 using BenchRecord = FigureRecord;
@@ -78,6 +81,25 @@ void ValidateBenchEnv() {
     std::fprintf(stderr, "bench: GPIVOT_EVENT_LOG unusable: %s\n",
                  event_log->error().c_str());
     std::exit(2);
+  }
+  // Durability knobs fail fast the same way: a garbled cadence or an
+  // unwritable WAL dir must not silently run the benchmark undurably.
+  Result<storage::StorageOptions> storage = storage::StorageOptions::FromEnv();
+  if (!storage.ok()) {
+    std::fprintf(stderr, "bench: %s\n", storage.status().ToString().c_str());
+    std::exit(2);
+  }
+  if (!storage->dir.empty()) {
+    std::string probe = StrCat(storage->dir, "/.gpivot_probe");
+    bool writable =
+        EnsureDir(storage->dir).ok() && static_cast<bool>(std::ofstream(probe));
+    if (writable) {
+      std::remove(probe.c_str());
+    } else {
+      std::fprintf(stderr, "bench: GPIVOT_WAL_DIR=%s is not writable\n",
+                   storage->dir.c_str());
+      std::exit(2);
+    }
   }
 }
 

@@ -91,6 +91,27 @@ Status ViewManager::DefineView(const std::string& name, PlanPtr query,
   return Status::OK();
 }
 
+Status ViewManager::RestoreView(const std::string& name, PlanPtr query,
+                                RefreshStrategy strategy, Table contents) {
+  if (views_.count(name) > 0) {
+    return Status::InvalidArgument(StrCat("view '", name, "' already exists"));
+  }
+  GPIVOT_ASSIGN_OR_RETURN(MaintenancePlan plan,
+                          MaintenancePlan::Compile(query, strategy));
+  GPIVOT_ASSIGN_OR_RETURN(Schema expected,
+                          plan.effective_query()->OutputSchema());
+  if (!(contents.schema() == expected)) {
+    return Status::InvalidArgument(
+        StrCat("restored contents for view '", name,
+               "' do not match the effective query's output schema"));
+  }
+  GPIVOT_ASSIGN_OR_RETURN(MaterializedView view,
+                          MaterializedView::Create(std::move(contents)));
+  views_.emplace(name, ViewState{std::move(plan), std::move(view)});
+  view_order_.push_back(name);
+  return Status::OK();
+}
+
 Result<const MaterializedView*> ViewManager::GetView(
     const std::string& name) const {
   auto it = views_.find(name);
@@ -166,8 +187,23 @@ Status ViewManager::ApplyUpdateInternal(const char* entry,
     return st;
   }
   if (AllDeltasEmpty(deltas)) {
+    // Consumes no seq and must stay invisible to the durability hook: an
+    // empty batch changes nothing, so a WAL entry for it would only make
+    // recovery replay (and number) epochs the live run never had.
     RecordNoOpEpoch(entry, deltas);
     return Status::OK();
+  }
+  if (durability_hook_ != nullptr) {
+    // Write-ahead point: the batch becomes durable before anything
+    // mutates. Failure rejects the epoch — but still consumes its seq via
+    // RecordEpoch, so the WAL (which may or may not hold a torn entry for
+    // it) and the epoch log stay aligned on numbering.
+    if (Status st = durability_hook_->OnEpochAccepted(epoch_seq_ + 1, entry,
+                                                      deltas);
+        !st.ok()) {
+      RecordEpoch(entry, deltas, /*staged=*/false, st, /*rejected=*/true);
+      return st;
+    }
   }
   obs::ScopedSpan epoch_span =
       obs::TraceEnabled(exec_context_.tracer)
@@ -179,6 +215,14 @@ Status ViewManager::ApplyUpdateInternal(const char* entry,
   if (st.ok()) st = AdvanceBaseInternal(deltas, &undo);
   if (!st.ok()) RollbackEpoch(&undo);
   RecordEpoch(entry, deltas, /*staged=*/true, st, /*rejected=*/false);
+  if (durability_hook_ != nullptr) {
+    Status hook_st =
+        durability_hook_->OnEpochResolved(last_epoch_->seq, st.ok());
+    // A durability failure after a committed epoch surfaces to the caller
+    // (the checkpoint cadence slipped); after a rollback the epoch's own
+    // error takes precedence.
+    if (st.ok() && !hook_st.ok()) return hook_st;
+  }
   return st;
 }
 

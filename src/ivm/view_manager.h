@@ -53,6 +53,32 @@ struct EpochRecord {
   std::string ToJsonLine() const;
 };
 
+// Observer the durability layer (src/storage) installs on a ViewManager so
+// epochs hit the write-ahead log at the right points. Both callbacks run on
+// the thread driving the epoch; the manager holds no lock around them.
+class EpochDurabilityHook {
+ public:
+  virtual ~EpochDurabilityHook() = default;
+
+  // Called by ApplyUpdate / BatchedApplyUpdate after the batch validated
+  // and proved non-empty, *before anything mutates*: the write-ahead point.
+  // `seq` is the sequence number this epoch will consume. A non-OK return
+  // rejects the epoch — nothing was staged yet, so the manager is
+  // untouched and the epoch records as "rejected" (a batch that cannot be
+  // made durable must not be applied).
+  virtual Status OnEpochAccepted(uint64_t seq, const std::string& entry,
+                                 const SourceDeltas& deltas) = 0;
+
+  // Called after the same epoch resolved and its record was written.
+  // `committed` is false when the epoch rolled back: the hook must drop
+  // the WAL entry it appended in OnEpochAccepted (replaying a rolled-back
+  // epoch would resurrect it). When true the hook may take a checkpoint;
+  // an error here surfaces to the ApplyUpdate caller even though the
+  // in-memory state committed — the state is valid but its durability
+  // cadence slipped, which the caller must hear about.
+  virtual Status OnEpochResolved(uint64_t seq, bool committed) = 0;
+};
+
 // Owns the base tables and a set of materialized views, keeping the views
 // consistent with the base as delta batches arrive. This is the end-to-end
 // entry point benchmarks and examples use.
@@ -87,8 +113,20 @@ class ViewManager {
   Status DefineView(const std::string& name, PlanPtr query,
                     RefreshStrategy strategy);
 
+  // Registers `name` with `contents` as its materialized state *without*
+  // evaluating the query — the recovery path, where contents come from a
+  // checkpoint already known consistent with the (restored) base catalog.
+  // The query still compiles normally and `contents` must match the
+  // effective query's output schema; the view's key index rebuilds from
+  // the table's declared key.
+  Status RestoreView(const std::string& name, PlanPtr query,
+                     RefreshStrategy strategy, Table contents);
+
   Result<const MaterializedView*> GetView(const std::string& name) const;
   Result<const MaintenancePlan*> GetPlan(const std::string& name) const;
+
+  // Registered view names in definition order.
+  const std::vector<std::string>& ViewNames() const { return view_order_; }
 
   // Runs one full epoch: refreshes every registered view for `deltas` (each
   // with its own strategy), then applies the deltas to the base tables.
@@ -152,6 +190,25 @@ class ViewManager {
   // must outlive this manager.
   void set_event_log(obs::EventLog* log) { event_log_ = log; }
 
+  // Durability observer for ApplyUpdate / BatchedApplyUpdate epochs
+  // (nullptr = none, the default). Must outlive this manager or be unset
+  // first. Recovery detaches the hook while replaying so replayed epochs
+  // are not re-logged.
+  void set_durability_hook(EpochDurabilityHook* hook) {
+    durability_hook_ = hook;
+  }
+
+  // The sequence number of the most recent seq-consuming epoch (0 before
+  // any). The next committed/rolled-back/rejected epoch records as
+  // epoch_seq() + 1.
+  uint64_t epoch_seq() const { return epoch_seq_; }
+
+  // Continues the epoch numbering of a previous incarnation: recovery
+  // replays a WAL whose entries already consumed seqs 1..n, so the
+  // recovered manager must hand out n+1 next — a reset to 0 would emit
+  // duplicate seqs into the epoch log.
+  void RestoreEpochSeq(uint64_t seq) { epoch_seq_ = seq; }
+
  private:
   struct ViewState {
     MaintenancePlan plan;
@@ -191,6 +248,7 @@ class ViewManager {
   uint64_t epoch_seq_ = 0;
   std::optional<EpochRecord> last_epoch_;
   obs::EventLog* event_log_ = nullptr;
+  EpochDurabilityHook* durability_hook_ = nullptr;
 };
 
 }  // namespace gpivot::ivm

@@ -1,0 +1,122 @@
+#include "storage/inspect.h"
+
+#include <filesystem>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "storage/checkpoint.h"
+#include "storage/serialize.h"
+#include "storage/wal.h"
+#include "util/file_io.h"
+#include "util/string_util.h"
+
+namespace gpivot::storage {
+
+namespace {
+
+// Reads the first four bytes to classify the file; 0 when too short.
+uint32_t FileMagic(const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok() || bytes->size() < 4) return 0;
+  BinaryReader reader(*bytes);
+  return reader.GetU32().value();
+}
+
+void InspectWalFile(const std::string& path, InspectReport* report) {
+  report->text += StrCat("wal ", path, "\n");
+  Result<WalContents> wal = ReadWal(path);
+  if (!wal.ok()) {
+    report->clean = false;
+    report->text += StrCat("  UNREADABLE: ", wal.status().ToString(), "\n");
+    return;
+  }
+  for (const WalEntry& entry : wal->entries) {
+    std::string tables;
+    std::map<std::string, const ivm::Delta*> sorted;
+    for (const auto& [name, delta] : entry.deltas) {
+      sorted.emplace(name, &delta);
+    }
+    for (const auto& [name, delta] : sorted) {
+      tables += StrCat(" ", name, "(+", delta->inserts.num_rows(), " -",
+                       delta->deletes.num_rows(), ")");
+    }
+    report->text += StrCat("  entry seq=", entry.seq, " tag=", entry.entry,
+                           " rows=", entry.TotalRows(), tables, "\n");
+  }
+  report->text += StrCat("  entries=", wal->entries.size(),
+                         " valid_bytes=", wal->valid_bytes);
+  if (wal->torn_bytes > 0) {
+    report->clean = false;
+    report->text += StrCat(" TORN tail: ", wal->torn_bytes, " bytes (",
+                           wal->tail_error, ")");
+  } else {
+    report->text += " tail=clean";
+  }
+  report->text += "\n";
+}
+
+void InspectCheckpointFile(const std::string& path, InspectReport* report) {
+  report->text += StrCat("checkpoint ", path, "\n");
+  Result<CheckpointContents> contents = ReadCheckpoint(path);
+  if (!contents.ok()) {
+    report->clean = false;
+    report->text +=
+        StrCat("  INVALID: ", contents.status().ToString(), "\n");
+    return;
+  }
+  report->text += StrCat("  epoch_seq=", contents->epoch_seq, "\n");
+  for (const auto& [name, table] : contents->base_tables) {
+    report->text +=
+        StrCat("  base ", name, ": ", table.num_rows(), " rows\n");
+  }
+  for (const auto& [name, table] : contents->view_tables) {
+    report->text +=
+        StrCat("  view ", name, ": ", table.num_rows(), " rows\n");
+  }
+}
+
+Status InspectFile(const std::string& path, InspectReport* report) {
+  switch (FileMagic(path)) {
+    case kWalFileMagic:
+      InspectWalFile(path, report);
+      return Status::OK();
+    case kCheckpointMagic:
+      InspectCheckpointFile(path, report);
+      return Status::OK();
+    default:
+      return Status::InvalidArgument(
+          StrCat("'", path, "' is neither a WAL nor a checkpoint file"));
+  }
+}
+
+}  // namespace
+
+Result<InspectReport> Inspect(const std::string& path) {
+  InspectReport report;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec) && !ec) {
+    GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                            ListDirFiles(path));
+    size_t inspected = 0;
+    for (const std::string& name : names) {
+      const std::string full = StrCat(path, "/", name);
+      // Only files this layer wrote; a directory may hold event logs,
+      // bench output, leftover .tmp files from a torn checkpoint, etc.
+      uint32_t magic = FileMagic(full);
+      if (magic != kWalFileMagic && magic != kCheckpointMagic) continue;
+      GPIVOT_RETURN_NOT_OK(InspectFile(full, &report));
+      ++inspected;
+    }
+    report.text += StrCat("inspected ", inspected, " file(s) in ", path,
+                          ": ", report.clean ? "clean" : "NOT CLEAN", "\n");
+    return report;
+  }
+  if (!FileExists(path)) {
+    return Status::NotFound(StrCat("'", path, "' does not exist"));
+  }
+  GPIVOT_RETURN_NOT_OK(InspectFile(path, &report));
+  return report;
+}
+
+}  // namespace gpivot::storage

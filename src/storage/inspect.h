@@ -1,0 +1,32 @@
+#ifndef GPIVOT_STORAGE_INSPECT_H_
+#define GPIVOT_STORAGE_INSPECT_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace gpivot::storage {
+
+// Offline inspection of durability artifacts, shared by the walinspect CLI
+// and tests. One report per file; a directory reports every WAL /
+// checkpoint file inside it.
+
+struct InspectReport {
+  // True when every inspected file verified clean: readable headers,
+  // all checksums valid, and no torn WAL tail. A WAL left behind by a
+  // crash legitimately has a torn tail — recovery repairs it — but an
+  // artifact produced by a clean run must not, so --verify treats torn
+  // bytes as failure.
+  bool clean = true;
+  std::string text;  // human-readable, one section per file
+};
+
+// `path` is a WAL file, a checkpoint file (told apart by their magic), or
+// a directory containing them. Fails only when `path` is missing or names
+// a file of neither kind; corrupt contents are reported in the result,
+// not as an error.
+Result<InspectReport> Inspect(const std::string& path);
+
+}  // namespace gpivot::storage
+
+#endif  // GPIVOT_STORAGE_INSPECT_H_

@@ -1,0 +1,301 @@
+// Unit behaviors of the WAL and checkpoint files: append/scan round-trip,
+// every torn-tail shape truncating instead of failing, failed-append
+// self-repair, Reset/TruncateTo, atomic checkpoint writes, newest-first
+// checkpoint discovery with corrupt files passed over, and the walinspect
+// report on clean and damaged artifacts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ivm/delta.h"
+#include "storage/checkpoint.h"
+#include "storage/inspect.h"
+#include "storage/serialize.h"
+#include "storage/wal.h"
+#include "test_util.h"
+#include "util/fault_injection.h"
+#include "util/file_io.h"
+
+namespace gpivot::storage {
+namespace {
+
+using gpivot::testing::I;
+using gpivot::testing::MakeTable;
+using gpivot::testing::S;
+
+ivm::SourceDeltas DeltasFor(int64_t id) {
+  Table inserts = MakeTable({{"ID", DataType::kInt64},
+                             {"Attribute", DataType::kString}},
+                            {{I(id), S("Manu")}});
+  Table deletes =
+      MakeTable({{"ID", DataType::kInt64}, {"Attribute", DataType::kString}},
+                {});
+  ivm::SourceDeltas deltas;
+  deltas.emplace("Items", ivm::Delta{std::move(inserts), std::move(deletes)});
+  return deltas;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/wal_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(EnsureDir(dir_).ok());
+    path_ = dir_ + "/wal.gwal";
+    ASSERT_TRUE(RemoveFileIfExists(path_).ok());
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendScanRoundTrip) {
+  {
+    auto writer = WalWriter::Open(path_, 0);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (uint64_t seq = 1; seq <= 3; ++seq) {
+      ASSERT_TRUE(writer
+                      ->Append(seq,
+                               seq == 2 ? "batched_apply_update"
+                                        : "apply_update",
+                               DeltasFor(static_cast<int64_t>(seq)))
+                      .ok());
+    }
+  }
+  auto wal = ReadWal(path_);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(wal->entries.size(), 3u);
+  EXPECT_EQ(wal->torn_bytes, 0u);
+  EXPECT_TRUE(wal->tail_error.empty());
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    const WalEntry& entry = wal->entries[seq - 1];
+    EXPECT_EQ(entry.seq, seq);
+    EXPECT_EQ(entry.entry,
+              seq == 2 ? "batched_apply_update" : "apply_update");
+    EXPECT_EQ(entry.TotalRows(), 1u);
+    ASSERT_EQ(entry.deltas.count("Items"), 1u);
+    EXPECT_EQ(entry.deltas.at("Items").inserts.rows()[0][0],
+              I(static_cast<int64_t>(seq)));
+  }
+}
+
+TEST_F(WalTest, MissingFileIsNotFound) {
+  auto wal = ReadWal(path_);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_TRUE(wal.status().IsNotFound());
+}
+
+TEST_F(WalTest, TornTailShapesTruncateNotFail) {
+  {
+    auto writer = WalWriter::Open(path_, 0);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(1, "apply_update", DeltasFor(1)).ok());
+    ASSERT_TRUE(writer->Append(2, "apply_update", DeltasFor(2)).ok());
+  }
+  auto pristine = ReadFileToString(path_);
+  ASSERT_TRUE(pristine.ok());
+  auto clean = ReadWal(path_);
+  ASSERT_TRUE(clean.ok());
+  uint64_t first_entry_end =
+      kWalHeaderSize +
+      (clean->valid_bytes - kWalHeaderSize) / 2;  // entries are equal-sized
+  // Every possible truncation point inside entry 2 leaves entry 1 intact.
+  for (uint64_t cut = first_entry_end; cut < pristine->size(); ++cut) {
+    ASSERT_TRUE(
+        AtomicWriteFile(path_, std::string_view(*pristine).substr(0, cut))
+            .ok());
+    auto wal = ReadWal(path_);
+    ASSERT_TRUE(wal.ok()) << "cut=" << cut;
+    EXPECT_EQ(wal->entries.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(wal->valid_bytes, first_entry_end);
+    EXPECT_EQ(wal->torn_bytes, cut - first_entry_end);
+    if (cut > first_entry_end) {
+      EXPECT_FALSE(wal->tail_error.empty());
+    }
+    // Open() truncates the tail and appends cleanly after it.
+    auto writer = WalWriter::Open(path_, wal->valid_bytes);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(2, "apply_update", DeltasFor(2)).ok());
+    auto repaired = ReadWal(path_);
+    ASSERT_TRUE(repaired.ok());
+    EXPECT_EQ(repaired->entries.size(), 2u);
+    EXPECT_EQ(repaired->torn_bytes, 0u);
+  }
+}
+
+TEST_F(WalTest, TornHeaderIsInvalidArgument) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "GW").ok());
+  auto wal = ReadWal(path_);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_TRUE(wal.status().IsInvalidArgument());
+  // Open(path, 0) rebuilds the file from scratch.
+  auto writer = WalWriter::Open(path_, 0);
+  ASSERT_TRUE(writer.ok());
+  auto rebuilt = ReadWal(path_);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->entries.size(), 0u);
+}
+
+TEST_F(WalTest, FailedAppendSelfRepairsOnRetry) {
+  auto writer = WalWriter::Open(path_, 0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(1, "apply_update", DeltasFor(1)).ok());
+  uint64_t durable = writer->offset();
+
+  // Make the append tear mid-write: real partial bytes land on disk.
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Arm(2);  // poke 1 = "file.write", poke 2 = "file.write.torn"
+  Status st = writer->Append(2, "apply_update", DeltasFor(2));
+  EXPECT_TRUE(injector.fired());
+  injector.Disarm();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(writer->offset(), durable);
+
+  // The file currently carries torn garbage past `durable`...
+  auto torn = ReadWal(path_);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_EQ(torn->entries.size(), 1u);
+  EXPECT_GT(torn->torn_bytes, 0u);
+
+  // ...which the next append clears before writing.
+  ASSERT_TRUE(writer->Append(2, "apply_update", DeltasFor(2)).ok());
+  auto repaired = ReadWal(path_);
+  ASSERT_TRUE(repaired.ok());
+  ASSERT_EQ(repaired->entries.size(), 2u);
+  EXPECT_EQ(repaired->torn_bytes, 0u);
+  EXPECT_EQ(repaired->entries[1].seq, 2u);
+}
+
+TEST_F(WalTest, TruncateToDropsLastEntryAndResetEmpties) {
+  auto writer = WalWriter::Open(path_, 0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(1, "apply_update", DeltasFor(1)).ok());
+  uint64_t before_second = writer->offset();
+  ASSERT_TRUE(writer->Append(2, "apply_update", DeltasFor(2)).ok());
+
+  ASSERT_TRUE(writer->TruncateTo(before_second).ok());
+  auto wal = ReadWal(path_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ(wal->entries.size(), 1u);
+  EXPECT_EQ(wal->entries[0].seq, 1u);
+  EXPECT_EQ(wal->torn_bytes, 0u);
+
+  ASSERT_TRUE(writer->Reset().ok());
+  auto empty = ReadWal(path_);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->entries.size(), 0u);
+  EXPECT_EQ(empty->valid_bytes, kWalHeaderSize);
+}
+
+CheckpointContents FixtureCheckpoint(uint64_t seq) {
+  CheckpointContents contents;
+  contents.epoch_seq = seq;
+  Table items = MakeTable({{"ID", DataType::kInt64},
+                           {"Attribute", DataType::kString}},
+                          {{I(1), S("Manu")}, {I(seq), S("Type")}});
+  EXPECT_TRUE(items.SetKey({"ID", "Attribute"}).ok());
+  contents.base_tables.emplace("Items", std::move(items));
+  contents.view_tables.emplace(
+      "v", MakeTable({{"ID", DataType::kInt64}}, {{I(seq)}}));
+  return contents;
+}
+
+TEST_F(WalTest, CheckpointRoundTripAndDiscovery) {
+  ASSERT_TRUE(
+      WriteCheckpoint(dir_ + "/" + CheckpointFileName(2), FixtureCheckpoint(2))
+          .ok());
+  ASSERT_TRUE(
+      WriteCheckpoint(dir_ + "/" + CheckpointFileName(10),
+                      FixtureCheckpoint(10))
+          .ok());
+  // A corrupt newer file must be discoverable but unreadable.
+  ASSERT_TRUE(
+      AtomicWriteFile(dir_ + "/" + CheckpointFileName(11), "GPCKgarbage")
+          .ok());
+
+  auto names = FindCheckpoints(dir_);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 3u);
+  EXPECT_EQ((*names)[0], CheckpointFileName(11));  // newest first
+  EXPECT_EQ((*names)[1], CheckpointFileName(10));
+  EXPECT_EQ((*names)[2], CheckpointFileName(2));
+
+  EXPECT_FALSE(ReadCheckpoint(dir_ + "/" + (*names)[0]).ok());
+  auto loaded = ReadCheckpoint(dir_ + "/" + (*names)[1]);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch_seq, 10u);
+  ASSERT_EQ(loaded->base_tables.count("Items"), 1u);
+  EXPECT_EQ(loaded->base_tables.at("Items").key(),
+            (std::vector<std::string>{"ID", "Attribute"}));
+  EXPECT_EQ(loaded->view_tables.at("v").rows()[0][0], I(10));
+}
+
+TEST_F(WalTest, CheckpointWriteIsAtomicUnderFaults) {
+  const std::string path = dir_ + "/" + CheckpointFileName(5);
+  ASSERT_TRUE(WriteCheckpoint(path, FixtureCheckpoint(5)).ok());
+
+  // Sweep every fault point in the atomic-write protocol; after each
+  // failure the original file must still read back intact.
+  FaultInjector& injector = FaultInjector::Global();
+  size_t points = 0;
+  for (size_t n = 1;; ++n) {
+    injector.Arm(n);
+    Status st = WriteCheckpoint(path, FixtureCheckpoint(6));
+    bool fired = injector.fired();
+    injector.Disarm();
+    if (st.ok()) {
+      EXPECT_FALSE(fired);
+      break;
+    }
+    ASSERT_TRUE(fired) << "non-injected failure: " << st.ToString();
+    points = n;
+    // Atomicity: the real name always holds a complete checkpoint — the
+    // old one before the rename point, the new one after it (a dirsync
+    // fault hits once the rename itself already landed). Never garbage.
+    auto survived = ReadCheckpoint(path);
+    ASSERT_TRUE(survived.ok())
+        << "fault at point " << n << " destroyed the checkpoint: "
+        << survived.status().ToString();
+    EXPECT_TRUE(survived->epoch_seq == 5u || survived->epoch_seq == 6u);
+  }
+  EXPECT_GE(points, 3u);  // write, fsync, rename at minimum
+  auto replaced = ReadCheckpoint(path);
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced->epoch_seq, 6u);
+}
+
+TEST_F(WalTest, InspectReportsCleanAndDamaged) {
+  {
+    auto writer = WalWriter::Open(path_, 0);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(1, "apply_update", DeltasFor(1)).ok());
+  }
+  ASSERT_TRUE(
+      WriteCheckpoint(dir_ + "/" + CheckpointFileName(1), FixtureCheckpoint(1))
+          .ok());
+  auto clean = Inspect(dir_);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(clean->clean) << clean->text;
+  EXPECT_NE(clean->text.find("entry seq=1"), std::string::npos);
+  EXPECT_NE(clean->text.find("epoch_seq=1"), std::string::npos);
+
+  // Tear the WAL tail: inspect flags the directory.
+  auto bytes = ReadFileToString(path_);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      AtomicWriteFile(path_,
+                      std::string_view(*bytes).substr(0, bytes->size() - 3))
+          .ok());
+  auto damaged = Inspect(dir_);
+  ASSERT_TRUE(damaged.ok());
+  EXPECT_FALSE(damaged->clean);
+  EXPECT_NE(damaged->text.find("TORN"), std::string::npos);
+
+  auto missing = Inspect(dir_ + "/nope");
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace gpivot::storage
