@@ -13,6 +13,7 @@
 
 #include <unistd.h>  // environ
 
+#include "exec/vector_ops.h"
 #include "ivm/view_manager.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -44,6 +45,7 @@ constexpr const char* kKnownEnvVars[] = {
     "GPIVOT_EVENT_LOG",     "GPIVOT_BENCH_MICRO_BATCHES",
     "GPIVOT_BATCH_MAX_BATCHES", "GPIVOT_BATCH_MAX_NET_ROWS",
     "GPIVOT_WAL_DIR",       "GPIVOT_CHECKPOINT_EVERY_N_EPOCHS",
+    "GPIVOT_VECTOR_CHUNK_SIZE",
 };
 
 using BenchRecord = FigureRecord;
@@ -82,6 +84,9 @@ void ValidateBenchEnv() {
                  event_log->error().c_str());
     std::exit(2);
   }
+  // Force the strict GPIVOT_VECTOR_CHUNK_SIZE parse now (exit 2 on garbage)
+  // rather than on first operator call mid-run.
+  (void)exec::VectorChunkSizeFromEnv();
   // Durability knobs fail fast the same way: a garbled cadence or an
   // unwritable WAL dir must not silently run the benchmark undurably.
   Result<storage::StorageOptions> storage = storage::StorageOptions::FromEnv();
@@ -182,6 +187,8 @@ class BenchJsonRegistry {
       out << "  \"seed\": " << context.config.seed << ",\n";
       out << "  \"num_threads\": " << exec.num_threads << ",\n";
       out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+          << ",\n";
+      out << "  \"vector_chunk_size\": " << exec::EffectiveVectorChunkSize(exec)
           << ",\n";
       out << "  \"results\": [\n";
       for (size_t i = 0; i < records.size(); ++i) {

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "exec/vector_ops.h"
 #include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/small_vector.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -58,6 +60,99 @@ Result<Table> GroupByImpl(const Table& input,
   const size_t num_parts = ctx.ShouldParallelize(num_rows)
                                ? std::min(ctx.num_threads, num_rows)
                                : 1;
+
+  // Vectorized fast path: typed group-key columns, batch hashing, and
+  // hash -> group-id buckets instead of Row-keyed map nodes. Partition
+  // ownership (hash % num_parts), per-partition accumulation in global row
+  // order, and the first_row merge are identical to the row path below, so
+  // group contents, accumulator addition order (hence float sums), and
+  // output row order are byte-identical. Mixed-type key columns or a zero
+  // chunk knob fall through to the row shim.
+  const size_t chunk_size = EffectiveVectorChunkSize(ctx);
+  std::optional<KeyColumns> key_cols;
+  if (chunk_size > 0 && num_rows > 0 && num_rows <= UINT32_MAX) {
+    key_cols = KeyColumns::Make(input, group_idx);
+  }
+  if (key_cols.has_value()) {
+    std::vector<size_t> row_hashes(num_rows);
+    ParallelForChunks(ctx, num_rows,
+                      [&](size_t /*chunk*/, size_t begin, size_t end) {
+                        for (size_t cb = begin; cb < end; cb += chunk_size) {
+                          key_cols->BatchHash(cb, std::min(end, cb + chunk_size),
+                                              row_hashes.data() + cb);
+                        }
+                      });
+
+    struct VGroup {
+      uint32_t first_row = 0;
+      std::vector<Accumulator> accumulators;
+    };
+    struct VPartition {
+      // hash -> ids of groups with that key hash, in creation order.
+      std::unordered_map<size_t, SmallVector<uint32_t, 2>> buckets;
+      std::vector<VGroup> groups;  // creation order == first_row ascending
+    };
+    std::vector<VPartition> partitions(num_parts);
+    ParallelFor(ExecContext{num_parts, 0}, num_parts, [&](size_t p) {
+      VPartition& part = partitions[p];
+      part.buckets.reserve(num_rows / num_parts + 1);
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (num_parts > 1 && row_hashes[r] % num_parts != p) continue;
+        SmallVector<uint32_t, 2>& ids = part.buckets[row_hashes[r]];
+        VGroup* group = nullptr;
+        for (uint32_t gid : ids) {
+          if (key_cols->RowsEqual(r, *key_cols, part.groups[gid].first_row)) {
+            group = &part.groups[gid];
+            break;
+          }
+        }
+        if (group == nullptr) {
+          ids.push_back(static_cast<uint32_t>(part.groups.size()));
+          VGroup fresh;
+          fresh.first_row = static_cast<uint32_t>(r);
+          fresh.accumulators.reserve(aggregates.size());
+          for (const AggSpec& spec : aggregates) {
+            fresh.accumulators.emplace_back(spec.func);
+          }
+          part.groups.push_back(std::move(fresh));
+          group = &part.groups.back();
+        }
+        for (size_t a = 0; a < aggregates.size(); ++a) {
+          const auto& input_idx = agg_input_idx[a];
+          group->accumulators[a].Add(input_idx.has_value()
+                                         ? input.rows()[r][*input_idx]
+                                         : Value::Int(1));
+        }
+      }
+    });
+
+    std::vector<std::pair<size_t, const VGroup*>> merged;
+    size_t total_groups = 0;
+    for (const VPartition& part : partitions) total_groups += part.groups.size();
+    merged.reserve(total_groups);
+    for (const VPartition& part : partitions) {
+      for (const VGroup& group : part.groups) {
+        merged.emplace_back(group.first_row, &group);
+      }
+    }
+    if (num_parts > 1) {
+      std::sort(merged.begin(), merged.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+
+    Table result{Schema(std::move(out_columns))};
+    result.mutable_rows().reserve(total_groups);
+    for (const auto& [first_row, group] : merged) {
+      Row out = ProjectRow(input.rows()[first_row], group_idx);
+      out.reserve(group_idx.size() + aggregates.size());
+      for (const Accumulator& acc : group->accumulators) {
+        out.push_back(acc.Finish());
+      }
+      result.AddRow(std::move(out));
+    }
+    GPIVOT_RETURN_NOT_OK(result.SetKey(group_columns));
+    return result;
+  }
 
   // With several partitions, precompute each row's group key and its hash
   // once (in row chunks) so the per-partition scans below only pay the

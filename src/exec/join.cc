@@ -4,10 +4,12 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/vector_ops.h"
 #include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/small_vector.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -96,8 +98,12 @@ Result<Table> HashJoinImpl(const Table& left, const Table& right,
   }
 
   auto combined_row_of = [&](const Row& l, const Row& r) {
-    Row out = l;
-    out.reserve(output_schema.num_columns());
+    // One exact-capacity allocation per output row. (Copy-then-reserve
+    // allocated at the left arity and regrew for the payload columns on
+    // every combined row of the probe hot loop.)
+    Row out;
+    out.reserve(l.size() + right_payload_idx.size());
+    out.insert(out.end(), l.begin(), l.end());
     for (size_t i : right_payload_idx) out.push_back(r[i]);
     return out;
   };
@@ -105,6 +111,70 @@ Result<Table> HashJoinImpl(const Table& left, const Table& right,
   if (spec.type == JoinType::kInner &&
       (left.empty() || right.empty())) {
     return Table(output_schema);
+  }
+
+  // Vectorized inner-join fast path: typed key columns on both sides, one
+  // hash -> candidate-row bucket table instead of Row-keyed map nodes, and
+  // column-major batch hashing of the probe side. Candidates carry ascending
+  // build-row indices and are verified with typed key equality, so the match
+  // set and emission order are exactly the row path's (which iterates the
+  // ascending per-key index list). Falls back below on mixed-type key
+  // columns or when the chunk knob disables batching.
+  if (spec.type == JoinType::kInner) {
+    const size_t chunk_size = EffectiveVectorChunkSize(ctx);
+    const bool build_left = left.num_rows() < right.num_rows();
+    const Table& build_table = build_left ? left : right;
+    const Table& probe_table = build_left ? right : left;
+    const std::vector<size_t>& build_key_idx =
+        build_left ? left_key_idx : right_key_idx;
+    const std::vector<size_t>& probe_key_idx =
+        build_left ? right_key_idx : left_key_idx;
+    std::optional<KeyColumns> build_keys;
+    std::optional<KeyColumns> probe_keys;
+    if (chunk_size > 0 && build_table.num_rows() <= UINT32_MAX) {
+      build_keys = KeyColumns::Make(build_table, build_key_idx);
+      probe_keys = KeyColumns::Make(probe_table, probe_key_idx);
+    }
+    if (build_keys.has_value() && probe_keys.has_value()) {
+      std::unordered_map<size_t, SmallVector<uint32_t, 2>> buckets;
+      buckets.reserve(build_table.num_rows());
+      for (size_t i = 0; i < build_table.num_rows(); ++i) {
+        if (build_keys->HasNull(i)) continue;
+        buckets[build_keys->Hash(i)].push_back(static_cast<uint32_t>(i));
+      }
+      const size_t num_probe = probe_table.num_rows();
+      std::vector<std::vector<Row>> chunk_rows(NumChunks(ctx, num_probe));
+      ParallelForChunks(
+          ctx, num_probe, [&](size_t chunk, size_t begin, size_t end) {
+            std::vector<Row>& out_rows = chunk_rows[chunk];
+            // Scratch sized to the smaller of chunk width and stripe: the
+            // env knob allows arbitrarily large widths.
+            const size_t scratch = std::min(chunk_size, end - begin);
+            std::vector<size_t> hashes(scratch);
+            std::vector<uint8_t> nulls(scratch);
+            for (size_t cb = begin; cb < end; cb += chunk_size) {
+              const size_t ce = std::min(end, cb + chunk_size);
+              probe_keys->BatchHash(cb, ce, hashes.data());
+              probe_keys->BatchHasNull(cb, ce, nulls.data());
+              for (size_t r = cb; r < ce; ++r) {
+                if (nulls[r - cb]) continue;
+                auto it = buckets.find(hashes[r - cb]);
+                if (it == buckets.end()) continue;
+                for (uint32_t bi : it->second) {
+                  if (!probe_keys->RowsEqual(r, *build_keys, bi)) continue;
+                  const Row& lrow = build_left ? build_table.RowAt(bi)
+                                               : probe_table.RowAt(r);
+                  const Row& rrow = build_left ? probe_table.RowAt(r)
+                                               : build_table.RowAt(bi);
+                  Row out = combined_row_of(lrow, rrow);
+                  if (residual && !ValueIsTrue(residual(out))) continue;
+                  out_rows.push_back(std::move(out));
+                }
+              }
+            }
+          });
+      return ConcatChunks(output_schema, std::move(chunk_rows));
+    }
   }
 
   // Inner joins build the hash table on the smaller side; delta-sized
@@ -259,6 +329,13 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     ctx.metrics->AddCounter("exec.join.build_rows", build_rows);
     ctx.metrics->AddCounter("exec.join.probe_rows", probe_rows);
     ctx.metrics->AddCounter("exec.join.rows_out", result.num_rows());
+    // Logical output footprint (rows x columns x cell size). A data-derived
+    // quantity rather than an allocator probe, so it is byte-identical
+    // across thread counts, chunk sizes, and row/vectorized paths; scratch
+    // buffers are deliberately excluded.
+    ctx.metrics->AddCounter(
+        "exec.join.bytes_allocated",
+        result.num_rows() * result.schema().num_columns() * sizeof(Value));
   }
   if (span.active()) {
     span.AddAttr("type", JoinTypeToString(spec.type));

@@ -19,6 +19,11 @@ namespace gpivot {
 
 struct PlanNodeIds;
 
+// Sentinel for ExecContext::vector_chunk_size: resolve the batch width from
+// the GPIVOT_VECTOR_CHUNK_SIZE environment variable (default 1024) on first
+// use — see exec::EffectiveVectorChunkSize.
+inline constexpr size_t kVectorChunkAuto = static_cast<size_t>(-1);
+
 // Concurrency knob threaded through the operator APIs (HashJoin, GroupBy,
 // GPivotParallel, Evaluate, the maintenance planner, ViewManager). The
 // default — one thread — is exactly the pre-existing sequential behavior,
@@ -61,6 +66,16 @@ struct ExecContext {
   bool ShouldParallelize(size_t rows) const {
     return num_threads > 1 && rows >= min_parallel_rows && rows >= 2;
   }
+
+  // Vectorized-executor batch width: the number of rows each columnar fast
+  // path (Select / Project / HashJoin / GroupBy / GPivot) processes per
+  // typed inner loop. 0 forces the row-at-a-time shim everywhere;
+  // kVectorChunkAuto (the default) resolves GPIVOT_VECTOR_CHUNK_SIZE.
+  // Results are byte-identical for every setting — the knob changes only
+  // which inner loop produces them — so it shares the determinism guarantee
+  // num_threads has. Appended last to keep aggregate initialization of the
+  // earlier fields source-compatible.
+  size_t vector_chunk_size = kVectorChunkAuto;
 };
 
 // A fixed set of worker threads draining a FIFO task queue. Deliberately

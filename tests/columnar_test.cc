@@ -1,0 +1,572 @@
+// Columnar storage and vectorized execution: the typed column views must
+// reproduce row-layer hashing/equality bit-for-bit, the Table column cache
+// must invalidate on every mutation edge, and each operator fast path must
+// return byte-identical tables to the row shim at any chunk size. These
+// tests are the unit-level contract; columnar_property_test drives the same
+// equivalence end-to-end through the view pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gpivot.h"
+#include "exec/basic_ops.h"
+#include "exec/group_by.h"
+#include "exec/join.h"
+#include "exec/vector_ops.h"
+#include "relation/columnar.h"
+#include "storage/serialize.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/small_vector.h"
+
+namespace gpivot {
+namespace {
+
+using testing::D;
+using testing::I;
+using testing::N;
+using testing::S;
+
+// ---- SmallVector ----------------------------------------------------------
+
+TEST(SmallVectorTest, GrowsFromInlineToHeap) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 100; ++i) v.push_back(i * 3);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i * 3);
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 297);
+}
+
+TEST(SmallVectorTest, ResizeZeroFillsNewElements) {
+  SmallVector<uint64_t, 2> v;
+  v.push_back(7);
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[0], 7u);
+  for (size_t i = 1; i < 10; ++i) EXPECT_EQ(v[i], 0u);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(SmallVectorTest, CopyAndMovePreserveContents) {
+  SmallVector<int, 2> small;
+  small.push_back(1);
+  SmallVector<int, 2> big;
+  for (int i = 0; i < 20; ++i) big.push_back(i);
+
+  SmallVector<int, 2> small_copy = small;
+  SmallVector<int, 2> big_copy = big;
+  EXPECT_TRUE(small_copy == small);
+  EXPECT_TRUE(big_copy == big);
+
+  SmallVector<int, 2> moved = std::move(big_copy);
+  EXPECT_TRUE(moved == big);
+  EXPECT_TRUE(big_copy.empty());  // NOLINT(bugprone-use-after-move)
+
+  small_copy = big;  // inline -> heap assignment
+  EXPECT_TRUE(small_copy == big);
+  big = small;  // heap -> inline-sized assignment
+  EXPECT_EQ(big.size(), 1u);
+  EXPECT_EQ(big[0], 1);
+}
+
+// ---- ColumnVector ---------------------------------------------------------
+
+Table OneColumn(std::vector<Value> cells) {
+  Table t{Schema({{"c", DataType::kInt64}})};
+  for (Value& v : cells) t.AddRow({std::move(v)});
+  return t;
+}
+
+TEST(ColumnVectorTest, DetectsStorageKindFromData) {
+  auto kind_of = [](std::vector<Value> cells) {
+    Table t = OneColumn(std::move(cells));
+    return ColumnVector::Build(t.rows(), 0)->kind();
+  };
+  EXPECT_EQ(kind_of({I(1), I(2)}), ColumnKind::kInt64);
+  EXPECT_EQ(kind_of({D(1.5), N(), D(2.5)}), ColumnKind::kDouble);
+  EXPECT_EQ(kind_of({S("a"), S("b")}), ColumnKind::kString);
+  EXPECT_EQ(kind_of({N(), N()}), ColumnKind::kAllNull);
+  EXPECT_EQ(kind_of({}), ColumnKind::kAllNull);
+  EXPECT_EQ(kind_of({I(1), D(2.0)}), ColumnKind::kMixed);
+  EXPECT_EQ(kind_of({I(1), S("x")}), ColumnKind::kMixed);
+}
+
+std::vector<Value> MixedBagOfCells() {
+  return {I(42),  N(),    D(3.25),  S(""),        S("hello"), I(-7),
+          D(0.0), D(-0.0), I(0),    S("hello"),   N(),        D(3.25)};
+}
+
+TEST(ColumnVectorTest, AtReconstructsSourceCellsExactly) {
+  // Every kind, including kMixed and null-bearing typed columns.
+  std::vector<std::vector<Value>> columns = {
+      {I(1), N(), I(3)},
+      {D(1.5), D(-0.0), N()},
+      {S("a"), S(""), N(), S("long string with spaces")},
+      {N(), N()},
+      MixedBagOfCells()};
+  for (const std::vector<Value>& cells : columns) {
+    Table t = OneColumn(cells);
+    auto col = ColumnVector::Build(t.rows(), 0);
+    ASSERT_EQ(col->size(), cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      EXPECT_EQ(col->IsNull(i), cells[i].is_null()) << "row " << i;
+      Value back = col->At(i);
+      EXPECT_EQ(back, cells[i]) << "row " << i;
+      // Same storage type, not just Value-equal (Int(3) == Real(3.0)).
+      EXPECT_EQ(back.is_int(), cells[i].is_int()) << "row " << i;
+      EXPECT_EQ(back.is_double(), cells[i].is_double()) << "row " << i;
+      EXPECT_EQ(back.is_string(), cells[i].is_string()) << "row " << i;
+    }
+  }
+}
+
+TEST(ColumnVectorTest, CellHashMatchesValueHash) {
+  std::vector<Value> cells = MixedBagOfCells();
+  // Once as kMixed (all together), once per homogeneous slice.
+  Table mixed = OneColumn(cells);
+  auto mixed_col = ColumnVector::Build(mixed.rows(), 0);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(mixed_col->CellHash(i), cells[i].Hash()) << "mixed row " << i;
+  }
+  for (std::vector<Value> slice :
+       {std::vector<Value>{I(42), N(), I(-7), I(0)},
+        std::vector<Value>{D(3.25), D(0.0), D(-0.0), N()},
+        std::vector<Value>{S(""), S("hello"), N()}}) {
+    Table t = OneColumn(slice);
+    auto col = ColumnVector::Build(t.rows(), 0);
+    for (size_t i = 0; i < slice.size(); ++i) {
+      EXPECT_EQ(col->CellHash(i), slice[i].Hash()) << "row " << i;
+    }
+  }
+}
+
+TEST(ColumnVectorTest, CellEqualityMatchesValueEquality) {
+  std::vector<Value> cells = MixedBagOfCells();
+  // Int(3)/Real(3.0) cross-type equality must survive typed storage.
+  cells.push_back(I(3));
+  cells.push_back(D(3.0));
+  Table t = OneColumn(cells);
+  auto as_mixed = ColumnVector::Build(t.rows(), 0);
+  // A second, typed view of only the ints to exercise typed-vs-typed and
+  // typed-vs-mixed comparisons.
+  std::vector<Value> ints = {I(42), I(-7), I(0), I(3), N()};
+  Table t_int = OneColumn(ints);
+  auto int_col = ColumnVector::Build(t_int.rows(), 0);
+  ASSERT_EQ(int_col->kind(), ColumnKind::kInt64);
+
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (size_t j = 0; j < cells.size(); ++j) {
+      EXPECT_EQ(ColumnVector::CellsEqual(*as_mixed, i, *as_mixed, j),
+                cells[i] == cells[j])
+          << i << " vs " << j;
+    }
+    for (size_t j = 0; j < ints.size(); ++j) {
+      EXPECT_EQ(ColumnVector::CellsEqual(*as_mixed, i, *int_col, j),
+                cells[i] == ints[j])
+          << i << " vs int " << j;
+    }
+    for (size_t j = 0; j < ints.size(); ++j) {
+      EXPECT_EQ(as_mixed->CellEqualsValue(i, ints[j]), cells[i] == ints[j]);
+      EXPECT_EQ(int_col->CellEqualsValue(j, cells[i]), ints[j] == cells[i]);
+    }
+  }
+}
+
+// ---- Table column cache ---------------------------------------------------
+
+Table SmallTyped() {
+  return testing::MakeTable({{"k", DataType::kInt64},
+                             {"s", DataType::kString},
+                             {"x", DataType::kDouble}},
+                            {{I(1), S("a"), D(1.5)},
+                             {I(2), S("b"), N()},
+                             {I(3), N(), D(3.5)}});
+}
+
+TEST(TableColumnCacheTest, LazyBuildThenCached) {
+  Table t = SmallTyped();
+  EXPECT_EQ(t.CachedColumnData(0), nullptr) << "cache must start cold";
+  auto first = t.ColumnData(0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->kind(), ColumnKind::kInt64);
+  EXPECT_EQ(t.ColumnData(0).get(), first.get()) << "second read rebuilt";
+  EXPECT_EQ(t.CachedColumnData(0).get(), first.get());
+  EXPECT_EQ(t.CachedColumnData(1), nullptr) << "per-column laziness";
+}
+
+TEST(TableColumnCacheTest, MutationsInvalidate) {
+  Table t = SmallTyped();
+  (void)t.ColumnData(0);
+  t.AddRow({I(4), S("d"), D(4.5)});
+  EXPECT_EQ(t.CachedColumnData(0), nullptr) << "AddRow kept a stale cache";
+  auto rebuilt = t.ColumnData(0);
+  ASSERT_EQ(rebuilt->size(), 4u);
+  EXPECT_EQ(rebuilt->Int64At(3), 4);
+
+  (void)t.ColumnData(0);
+  t.mutable_rows()[0][0] = I(99);
+  EXPECT_EQ(t.CachedColumnData(0), nullptr)
+      << "mutable_rows() kept a stale cache";
+  EXPECT_EQ(t.ColumnData(0)->Int64At(0), 99);
+}
+
+TEST(TableColumnCacheTest, CopySharesWarmCacheAndSortedStartsCold) {
+  Table t = SmallTyped();
+  auto warm = t.ColumnData(2);
+  Table copy = t;
+  EXPECT_EQ(copy.CachedColumnData(2).get(), warm.get())
+      << "copying an immutable view should keep its columns warm";
+  // The copy's cache is independent: mutating the copy must not chill the
+  // original.
+  copy.AddRow({I(4), S("d"), D(4.5)});
+  EXPECT_EQ(copy.CachedColumnData(2), nullptr);
+  EXPECT_EQ(t.CachedColumnData(2).get(), warm.get());
+
+  Table sorted = t.Sorted();
+  EXPECT_EQ(sorted.CachedColumnData(2), nullptr)
+      << "Sorted() reorders rows; its cache must not be the source's";
+  EXPECT_EQ(t.CachedColumnData(2).get(), warm.get());
+}
+
+// ---- chunk-size knob ------------------------------------------------------
+
+TEST(VectorChunkSizeTest, StrictParse) {
+  EXPECT_EQ(exec::ParseVectorChunkSize("1024"), 1024u);
+  EXPECT_EQ(exec::ParseVectorChunkSize("0"), 0u);
+  EXPECT_EQ(exec::ParseVectorChunkSize("1"), 1u);
+  EXPECT_FALSE(exec::ParseVectorChunkSize(nullptr).has_value());
+  EXPECT_FALSE(exec::ParseVectorChunkSize("").has_value());
+  EXPECT_FALSE(exec::ParseVectorChunkSize("-1").has_value());
+  EXPECT_FALSE(exec::ParseVectorChunkSize("12x").has_value());
+  EXPECT_FALSE(exec::ParseVectorChunkSize("x12").has_value());
+  EXPECT_FALSE(exec::ParseVectorChunkSize(" 12").has_value());
+  EXPECT_FALSE(exec::ParseVectorChunkSize("1.5").has_value());
+}
+
+TEST(VectorChunkSizeTest, ContextOverridesEnvDefault) {
+  ExecContext ctx;
+  EXPECT_EQ(ctx.vector_chunk_size, kVectorChunkAuto);
+  ctx.vector_chunk_size = 0;
+  EXPECT_EQ(exec::EffectiveVectorChunkSize(ctx), 0u);
+  ctx.vector_chunk_size = 7;
+  EXPECT_EQ(exec::EffectiveVectorChunkSize(ctx), 7u);
+}
+
+// ---- KeyColumns -----------------------------------------------------------
+
+Table RandomMixedTable(Rng* rng, size_t rows, double null_fraction) {
+  Table t{Schema({{"k", DataType::kInt64},
+                  {"g", DataType::kString},
+                  {"x", DataType::kDouble},
+                  {"v", DataType::kInt64}})};
+  for (size_t i = 0; i < rows; ++i) {
+    Row row;
+    row.push_back(rng->Chance(null_fraction) ? N() : I(rng->Int(1, 8)));
+    row.push_back(rng->Chance(null_fraction)
+                      ? N()
+                      : S(std::string(1, 'a' + rng->Int(0, 3)).c_str()));
+    row.push_back(rng->Chance(null_fraction) ? N()
+                                             : D(rng->Int(0, 99) / 4.0));
+    row.push_back(rng->Chance(null_fraction) ? N() : I(rng->Int(0, 99)));
+    t.AddRow(std::move(row));
+  }
+  return t;
+}
+
+TEST(KeyColumnsTest, MatchesRowLayerHashingAndEquality) {
+  Rng rng(1234);
+  Table t = RandomMixedTable(&rng, 64, 0.15);
+  std::vector<size_t> idx = {0, 1, 2};
+  auto keys = exec::KeyColumns::Make(t, idx);
+  ASSERT_TRUE(keys.has_value());
+  ASSERT_EQ(keys->num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(keys->Hash(r), HashRowAt(t.RowAt(r), idx)) << "row " << r;
+    Row projected = ProjectRow(t.RowAt(r), idx);
+    bool has_null = false;
+    for (const Value& v : projected) has_null = has_null || v.is_null();
+    EXPECT_EQ(keys->HasNull(r), has_null) << "row " << r;
+    EXPECT_TRUE(keys->RowEqualsValues(r, projected));
+    for (size_t s = 0; s < t.num_rows(); ++s) {
+      EXPECT_EQ(keys->RowsEqual(r, *keys, s),
+                RowsEqualAt(t.RowAt(r), idx, t.RowAt(s), idx))
+          << r << " vs " << s;
+    }
+  }
+}
+
+TEST(KeyColumnsTest, BatchKernelsMatchScalarKernels) {
+  Rng rng(99);
+  Table t = RandomMixedTable(&rng, 100, 0.2);
+  std::vector<size_t> idx = {0, 1};
+  auto keys = exec::KeyColumns::Make(t, idx);
+  ASSERT_TRUE(keys.has_value());
+  for (auto [begin, end] : std::vector<std::pair<size_t, size_t>>{
+           {0, 100}, {0, 1}, {37, 64}, {99, 100}, {50, 50}}) {
+    std::vector<size_t> hashes(end - begin);
+    std::vector<uint8_t> nulls(end - begin);
+    keys->BatchHash(begin, end, hashes.data());
+    keys->BatchHasNull(begin, end, nulls.data());
+    for (size_t r = begin; r < end; ++r) {
+      EXPECT_EQ(hashes[r - begin], keys->Hash(r)) << "row " << r;
+      EXPECT_EQ(nulls[r - begin] != 0, keys->HasNull(r)) << "row " << r;
+    }
+  }
+}
+
+TEST(KeyColumnsTest, RejectsMixedTypeColumns) {
+  Table t{Schema({{"m", DataType::kInt64}})};
+  t.AddRow({I(1)});
+  t.AddRow({S("oops")});
+  EXPECT_FALSE(exec::KeyColumns::Make(t, {0}).has_value());
+}
+
+// ---- VectorPredicate ------------------------------------------------------
+
+void ExpectPredicateMatchesRowShim(const Table& t, const ExprPtr& pred,
+                                   bool expect_compiled) {
+  auto vectorized = exec::VectorPredicate::Compile(pred, t);
+  ASSERT_EQ(vectorized.has_value(), expect_compiled) << pred->ToString();
+  if (!vectorized.has_value()) return;
+  auto compiled = CompileExpr(pred, t.schema());
+  ASSERT_TRUE(compiled.ok());
+  std::vector<uint8_t> mask(t.num_rows());
+  vectorized->EvalChunk(0, t.num_rows(), mask.data());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(mask[r] != 0, ValueIsTrue((*compiled)(t.RowAt(r))))
+        << pred->ToString() << " row " << r << ": " << RowToString(t.RowAt(r));
+  }
+}
+
+TEST(VectorPredicateTest, SupportedShapesMatchThreeValuedLogic) {
+  Rng rng(777);
+  Table t = RandomMixedTable(&rng, 80, 0.25);
+  std::vector<ExprPtr> supported = {
+      Eq(Col("k"), Lit(int64_t{3})),
+      Ne(Col("k"), Lit(int64_t{3})),
+      Lt(Col("v"), Lit(int64_t{50})),
+      Le(Col("v"), Lit(int64_t{50})),
+      Gt(Col("x"), Lit(10.0)),
+      Ge(Col("x"), Lit(10.0)),
+      Eq(Col("v"), Lit(50.0)),          // int column vs double literal
+      Lt(Lit(int64_t{4}), Col("k")),    // literal-first mirroring
+      Eq(Col("g"), Lit("b")),
+      Ne(Col("g"), Lit("b")),
+      Lt(Col("g"), Lit("c")),
+      IsNull(Col("x")),
+      And(Gt(Col("v"), Lit(int64_t{20})), Lt(Col("v"), Lit(int64_t{70}))),
+      Or(IsNull(Col("k")), Ge(Col("k"), Lit(int64_t{6}))),
+      Eq(Col("k"), Lit(Value::Null())),  // NULL literal: never TRUE
+  };
+  for (const ExprPtr& pred : supported) {
+    ExpectPredicateMatchesRowShim(t, pred, /*expect_compiled=*/true);
+  }
+}
+
+TEST(VectorPredicateTest, UnsupportedShapesFallBackToRowShim) {
+  Rng rng(778);
+  Table t = RandomMixedTable(&rng, 10, 0.1);
+  std::vector<ExprPtr> unsupported = {
+      Not(Eq(Col("k"), Lit(int64_t{3}))),   // NOT breaks is-TRUE masks
+      Eq(Col("k"), Col("v")),               // column-to-column
+      Eq(Col("g"), Lit(int64_t{1})),        // string col vs numeric literal
+      Eq(Col("k"), Lit("one")),             // numeric col vs string literal
+      And(Gt(Col("v"), Lit(int64_t{1})),
+          Not(IsNull(Col("k")))),           // one unsupported child poisons
+  };
+  for (const ExprPtr& pred : unsupported) {
+    ExpectPredicateMatchesRowShim(t, pred, /*expect_compiled=*/false);
+  }
+  Table mixed{Schema({{"m", DataType::kInt64}})};
+  mixed.AddRow({I(1)});
+  mixed.AddRow({S("oops")});
+  ExpectPredicateMatchesRowShim(mixed, Eq(Col("m"), Lit(int64_t{1})),
+                                /*expect_compiled=*/false);
+}
+
+// ---- operator fast paths vs row shim --------------------------------------
+
+// Strict equality including row order and declared key — the fast paths
+// promise byte-identical tables, not just equal bags.
+void ExpectIdenticalTables(const Table& expected, const Table& actual,
+                           const char* what) {
+  ASSERT_EQ(expected.schema(), actual.schema()) << what;
+  ASSERT_EQ(expected.key(), actual.key()) << what;
+  ASSERT_EQ(expected.rows(), actual.rows()) << what;
+}
+
+ExecContext ChunkContext(size_t chunk) {
+  ExecContext ctx;
+  ctx.vector_chunk_size = chunk;
+  return ctx;
+}
+
+const size_t kChunkSweep[] = {1, 3, 1024};
+
+TEST(RowVsVectorTest, SelectAndProject) {
+  Rng rng(4242);
+  Table t = RandomMixedTable(&rng, 120, 0.2);
+  ExprPtr pred = And(Gt(Col("v"), Lit(int64_t{25})),
+                     Or(IsNull(Col("g")), Lt(Col("k"), Lit(int64_t{6}))));
+  ASSERT_OK_AND_ASSIGN(Table sel_row,
+                       exec::Select(t, pred, ChunkContext(0)));
+  ASSERT_OK_AND_ASSIGN(
+      Table proj_row,
+      exec::Project(t, {"x", "k"}, ChunkContext(0)));
+  for (size_t chunk : kChunkSweep) {
+    ASSERT_OK_AND_ASSIGN(Table sel_vec,
+                         exec::Select(t, pred, ChunkContext(chunk)));
+    ExpectIdenticalTables(sel_row, sel_vec, "Select");
+    ASSERT_OK_AND_ASSIGN(Table proj_vec,
+                         exec::Project(t, {"x", "k"}, ChunkContext(chunk)));
+    ExpectIdenticalTables(proj_row, proj_vec, "Project");
+  }
+}
+
+TEST(RowVsVectorTest, InnerHashJoinBothBuildSides) {
+  Rng rng(555);
+  Table small = RandomMixedTable(&rng, 30, 0.15);
+  Table large = RandomMixedTable(&rng, 90, 0.15);
+  ASSERT_OK_AND_ASSIGN(
+      Table right, exec::RenameColumns(large, {{"g", "g2"}, {"x", "x2"},
+                                               {"v", "v2"}}));
+  exec::JoinSpec spec;
+  spec.left_keys = {"k"};
+  spec.right_keys = {"k"};
+  spec.type = exec::JoinType::kInner;
+  // Both orientations: build-left (small probe-large) and build-right.
+  for (const auto& [l, r] : std::vector<std::pair<Table, Table>>{
+           {small, right}, {large, right}}) {
+    for (const ExprPtr& residual :
+         {ExprPtr(nullptr), Gt(Col("v2"), Lit(int64_t{30}))}) {
+      spec.residual = residual;
+      ASSERT_OK_AND_ASSIGN(Table row_path,
+                           exec::HashJoin(l, r, spec, ChunkContext(0)));
+      for (size_t chunk : kChunkSweep) {
+        ASSERT_OK_AND_ASSIGN(Table vec_path,
+                             exec::HashJoin(l, r, spec, ChunkContext(chunk)));
+        ExpectIdenticalTables(row_path, vec_path, "HashJoin");
+      }
+    }
+  }
+}
+
+TEST(RowVsVectorTest, GroupByAccumulation) {
+  Rng rng(808);
+  Table t = RandomMixedTable(&rng, 150, 0.2);
+  std::vector<AggSpec> aggs = {
+      AggSpec{AggFunc::kSum, "x", "sum_x"},
+      AggSpec{AggFunc::kCount, "v", "cnt_v"},
+      AggSpec{AggFunc::kCountStar, "", "cnt"},
+      AggSpec{AggFunc::kMin, "v", "min_v"},
+      AggSpec{AggFunc::kAvg, "x", "avg_x"},
+  };
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ExecContext row_ctx = ChunkContext(0);
+    row_ctx.num_threads = threads;
+    row_ctx.min_parallel_rows = 1;
+    ASSERT_OK_AND_ASSIGN(Table row_path,
+                         exec::GroupBy(t, {"k", "g"}, aggs, row_ctx));
+    for (size_t chunk : kChunkSweep) {
+      ExecContext vec_ctx = ChunkContext(chunk);
+      vec_ctx.num_threads = threads;
+      vec_ctx.min_parallel_rows = 1;
+      ASSERT_OK_AND_ASSIGN(Table vec_path,
+                           exec::GroupBy(t, {"k", "g"}, aggs, vec_ctx));
+      ExpectIdenticalTables(row_path, vec_path, "GroupBy");
+    }
+  }
+}
+
+TEST(RowVsVectorTest, GPivotCellRouting) {
+  Rng rng(31337);
+  testing::RandomVerticalSpec vspec;
+  vspec.num_rows = 90;
+  vspec.num_dims = 2;
+  vspec.dim_alphabet = 3;
+  vspec.num_measures = 2;
+  Table t = testing::RandomVerticalTable(vspec, &rng);
+  PivotSpec spec;
+  spec.pivot_by = {"a1", "a2"};
+  spec.pivot_on = {"b1", "b2"};
+  for (int c0 = 0; c0 < 3; ++c0) {
+    for (int c1 = 0; c1 < 3; ++c1) {
+      spec.combos.push_back({S(("v" + std::to_string(c0)).c_str()),
+                             S(("v" + std::to_string(c1)).c_str())});
+    }
+  }
+  for (bool keep : {false, true}) {
+    spec.keep_all_null_rows = keep;
+    ASSERT_OK_AND_ASSIGN(Table row_path, GPivot(t, spec, ChunkContext(0)));
+    for (size_t chunk : kChunkSweep) {
+      ASSERT_OK_AND_ASSIGN(Table vec_path,
+                           GPivot(t, spec, ChunkContext(chunk)));
+      ExpectIdenticalTables(row_path, vec_path, "GPivot");
+    }
+  }
+}
+
+TEST(RowVsVectorTest, GPivotDuplicateKeyErrorMessageIdentical) {
+  Table t{Schema({{"k", DataType::kInt64},
+                  {"a", DataType::kString},
+                  {"b", DataType::kInt64}})};
+  t.AddRow({I(1), S("x"), I(10)});
+  t.AddRow({I(1), S("x"), I(20)});  // duplicate (k, a) pair
+  PivotSpec spec;
+  spec.pivot_by = {"a"};
+  spec.pivot_on = {"b"};
+  spec.combos = {{S("x")}};
+  Result<Table> row_path = GPivot(t, spec, ChunkContext(0));
+  ASSERT_FALSE(row_path.ok());
+  for (size_t chunk : kChunkSweep) {
+    Result<Table> vec_path = GPivot(t, spec, ChunkContext(chunk));
+    ASSERT_FALSE(vec_path.ok());
+    EXPECT_EQ(vec_path.status().ToString(), row_path.status().ToString());
+  }
+}
+
+// ---- serialize fast path --------------------------------------------------
+
+TEST(SerializeColumnarTest, WarmCacheBytesIdenticalToColdEncoding) {
+  Rng rng(2025);
+  Table t = RandomMixedTable(&rng, 40, 0.25);
+  // Add a mixed-type column so the fast path's per-Value fallback runs too.
+  Table mixed{Schema({{"k", DataType::kInt64},
+                      {"g", DataType::kString},
+                      {"x", DataType::kDouble},
+                      {"v", DataType::kInt64},
+                      {"m", DataType::kInt64}})};
+  Rng cell_rng(7);
+  for (const Row& row : t.rows()) {
+    Row extended = row;
+    int pick = static_cast<int>(cell_rng.Int(0, 3));
+    extended.push_back(pick == 0   ? I(cell_rng.Int(0, 9))
+                       : pick == 1 ? D(cell_rng.Int(0, 9) / 2.0)
+                       : pick == 2 ? S("mix")
+                                   : N());
+    mixed.AddRow(std::move(extended));
+  }
+
+  std::string cold = storage::EncodeTableToString(mixed);
+  for (size_t c = 0; c < mixed.schema().num_columns(); ++c) {
+    (void)mixed.ColumnData(c);  // warm every column
+    ASSERT_NE(mixed.CachedColumnData(c), nullptr);
+  }
+  std::string warm = storage::EncodeTableToString(mixed);
+  EXPECT_EQ(cold, warm) << "columnar encoding changed the wire bytes";
+
+  // And the bytes still round-trip.
+  storage::BinaryReader reader(warm);
+  ASSERT_OK_AND_ASSIGN(Table decoded, storage::DecodeTable(&reader));
+  EXPECT_EQ(decoded.rows(), mixed.rows());
+}
+
+}  // namespace
+}  // namespace gpivot

@@ -61,7 +61,8 @@ struct ObservedEpoch {
   std::string span_tree;
 };
 
-ObservedEpoch RunObservedEpoch(size_t threads) {
+ObservedEpoch RunObservedEpoch(size_t threads,
+                               size_t vector_chunk = kVectorChunkAuto) {
   obs::MetricsRegistry registry;
   registry.set_enabled(true);
   obs::Tracer tracer;
@@ -69,6 +70,7 @@ ObservedEpoch RunObservedEpoch(size_t threads) {
   ExecContext ctx;
   ctx.num_threads = threads;
   ctx.min_parallel_rows = 1;  // force parallel paths on the tiny tables
+  ctx.vector_chunk_size = vector_chunk;
   ctx.metrics = &registry;
   ctx.tracer = &tracer;
   tpch::Config config = SmallConfig();
@@ -94,6 +96,25 @@ TEST(ObsDeterminismTest, EpochCountersIdenticalAcrossThreadCounts) {
   ObservedEpoch parallel = RunObservedEpoch(4);
   EXPECT_EQ(sequential.counters, parallel.counters)
       << "operator counters leaked scheduling dependence";
+}
+
+TEST(ObsDeterminismTest, EpochArtifactsIdenticalAcrossVectorChunkSizes) {
+  // The vectorized batch executor must be invisible to every observable:
+  // chunk width 1 vs 1024 vs the row shim (0), at both thread counts.
+  ObservedEpoch reference = RunObservedEpoch(1, 1024);
+  ASSERT_FALSE(reference.counters.empty());
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (size_t chunk : {size_t{0}, size_t{1}, size_t{1024}}) {
+      if (threads == 1 && chunk == 1024) continue;  // the reference itself
+      ObservedEpoch other = RunObservedEpoch(threads, chunk);
+      EXPECT_EQ(reference.counters, other.counters)
+          << "counters depend on chunk size (threads=" << threads
+          << ", chunk=" << chunk << ")";
+      EXPECT_EQ(reference.span_tree, other.span_tree)
+          << "span tree depends on chunk size (threads=" << threads
+          << ", chunk=" << chunk << ")";
+    }
+  }
 }
 
 TEST(ObsDeterminismTest, EpochSpanTreeIdenticalAcrossThreadCounts) {
