@@ -114,7 +114,8 @@ void RunAblation(benchmark::State& state, bool vectorized, bool deletes) {
                   FigureRecord{strategy, kFraction, rep_ms.front(), median,
                                reps, view_rows, delta_rows,
                                std::move(metrics_json), std::move(cost_json),
-                               std::move(cost_text), std::move(prom_text)});
+                               std::move(cost_text), std::move(prom_text),
+                               /*extra=*/std::string()});
 }
 
 void RegisterAblation() {

@@ -45,7 +45,9 @@ constexpr const char* kKnownEnvVars[] = {
     "GPIVOT_EVENT_LOG",     "GPIVOT_BENCH_MICRO_BATCHES",
     "GPIVOT_BATCH_MAX_BATCHES", "GPIVOT_BATCH_MAX_NET_ROWS",
     "GPIVOT_WAL_DIR",       "GPIVOT_CHECKPOINT_EVERY_N_EPOCHS",
-    "GPIVOT_VECTOR_CHUNK_SIZE",
+    "GPIVOT_VECTOR_CHUNK_SIZE", "GPIVOT_SERVE_READERS",
+    "GPIVOT_SERVE_MAX_PINNED_EPOCHS", "GPIVOT_SERVE_MIX",
+    "GPIVOT_SERVE_EPOCHS",  "GPIVOT_SERVE_OPS",
 };
 
 using BenchRecord = FigureRecord;
@@ -200,6 +202,9 @@ class BenchJsonRegistry {
             << "\"reps\": " << r.reps << ", "
             << "\"view_rows\": " << r.view_rows << ", "
             << "\"delta_rows\": " << r.delta_rows;
+        if (!r.extra.empty()) {
+          out << ", " << r.extra;
+        }
         if (!r.metrics_json.empty()) {
           out << ",\n     \"metrics\": " << r.metrics_json;
         }
@@ -353,7 +358,8 @@ void RunRefresh(benchmark::State& state, const char* figure_name, ViewId view,
       BenchRecord{ivm::RefreshStrategyToString(strategy), fraction,
                   rep_ms.front(), median, reps, view_rows, delta_rows,
                   std::move(metrics_json), std::move(cost_json),
-                  std::move(cost_text), std::move(prom_text)});
+                  std::move(cost_text), std::move(prom_text),
+                  /*extra=*/std::string()});
 }
 
 }  // namespace

@@ -106,6 +106,11 @@ struct FigureRecord {
   std::string cost_json;     // last rep's per-node cost report (JSON line)
   std::string cost_text;     // same report, annotated-tree rendering
   std::string prom_text;     // last rep's Prometheus exposition
+  // Extra figure-specific JSON fields rendered verbatim into the record
+  // (e.g. `"qps": 1234.5, "p99_ms": 0.8`). Must be valid JSON key/value
+  // pairs without the surrounding braces; bench_diff ignores keys it does
+  // not know, so custom figures can publish their own measures here.
+  std::string extra;
 };
 
 // Appends one record to `figure`'s BENCH_<figure>.json (written at process

@@ -170,7 +170,7 @@ void RunMicroBatch(benchmark::State& state, bool batched) {
                                kTotalFraction, rep_ms.front(), median, reps,
                                view_rows, delta_rows, std::move(metrics_json),
                                std::move(cost_json), std::move(cost_text),
-                               std::move(prom_text)});
+                               std::move(prom_text), /*extra=*/std::string()});
 }
 
 void RegisterMicroBatch() {

@@ -195,7 +195,8 @@ void RunRecovery(benchmark::State& state, bool compacted) {
                   FigureRecord{strategy, kTotalFraction, rep_ms.front(),
                                median, reps, view_rows, delta_rows,
                                std::move(metrics_json), std::move(cost_json),
-                               std::move(cost_text), std::move(prom_text)});
+                               std::move(cost_text), std::move(prom_text),
+                               /*extra=*/std::string()});
 }
 
 void RegisterRecovery() {

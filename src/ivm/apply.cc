@@ -119,73 +119,102 @@ Result<MaterializedView> MaterializedView::Create(Table initial) {
   // Build detects duplicate keys, so no separate ValidateKey pass.
   GPIVOT_ASSIGN_OR_RETURN(KeyIndex index,
                           KeyIndex::Build(initial, std::move(key_indices)));
-  return MaterializedView(std::move(initial), std::move(index));
+  return MaterializedView(std::make_shared<Table>(std::move(initial)),
+                          std::make_shared<KeyIndex>(std::move(index)));
+}
+
+Table& MaterializedView::MutableTable() {
+  if (table_.use_count() > 1) {
+    // An immutable handle is outstanding: mutate a private clone so the
+    // handle keeps its version. The clone shares the warm column cache
+    // (Table's copy ctor) until mutable_rows() invalidates the clone's —
+    // the handle holder's cache stays intact either way. One clone per
+    // epoch per mutated view at most: the clone's count is 1 until the
+    // next shared_table() call.
+    obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+    if (global.enabled()) global.AddCounter("ivm.view.cow_table_clones");
+    table_ = std::make_shared<Table>(*table_);
+  }
+  return *table_;
+}
+
+KeyIndex& MaterializedView::MutableIndex() {
+  if (index_.use_count() > 1) {
+    obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+    if (global.enabled()) global.AddCounter("ivm.view.cow_index_clones");
+    index_ = std::make_shared<KeyIndex>(*index_);
+  }
+  return *index_;
 }
 
 Status MaterializedView::Insert(Row row) {
-  if (index_.Lookup(row, index_.key_indices()).has_value()) {
+  if (index_->Lookup(row, index_->key_indices()).has_value()) {
     return Status::ConstraintViolation(
         StrCat("insert of duplicate view key ",
-               RowToString(ProjectRow(row, index_.key_indices()))));
+               RowToString(ProjectRow(row, index_->key_indices()))));
   }
-  index_.Insert(row, table_.num_rows());
-  table_.AddRow(std::move(row));
+  Table& table = MutableTable();
+  MutableIndex().Insert(row, table.num_rows());
+  table.AddRow(std::move(row));
   return Status::OK();
 }
 
 void MaterializedView::Update(size_t position, Row row) {
-  GPIVOT_CHECK(position < table_.num_rows()) << "Update out of range";
-  GPIVOT_CHECK(RowsEqualAt(table_.rows()[position], index_.key_indices(), row,
-                           index_.key_indices()))
+  GPIVOT_CHECK(position < table_->num_rows()) << "Update out of range";
+  GPIVOT_CHECK(RowsEqualAt(table_->rows()[position], index_->key_indices(),
+                           row, index_->key_indices()))
       << "Update must not change the key";
-  table_.mutable_rows()[position] = std::move(row);
+  MutableTable().mutable_rows()[position] = std::move(row);
 }
 
 void MaterializedView::Delete(size_t position) {
-  GPIVOT_CHECK(position < table_.num_rows()) << "Delete out of range";
-  std::vector<Row>& rows = table_.mutable_rows();
-  index_.EraseKey(ProjectRow(rows[position], index_.key_indices()));
+  GPIVOT_CHECK(position < table_->num_rows()) << "Delete out of range";
+  std::vector<Row>& rows = MutableTable().mutable_rows();
+  KeyIndex& index = MutableIndex();
+  index.EraseKey(ProjectRow(rows[position], index.key_indices()));
   size_t last = rows.size() - 1;
   if (position != last) {
     rows[position] = std::move(rows[last]);
-    index_.Reposition(rows[position], position);
+    index.Reposition(rows[position], position);
   }
   rows.pop_back();
 }
 
 void MaterializedView::UndoInsert() {
-  GPIVOT_CHECK(!table_.empty()) << "UndoInsert on empty view";
-  std::vector<Row>& rows = table_.mutable_rows();
-  index_.EraseKey(ProjectRow(rows.back(), index_.key_indices()));
+  GPIVOT_CHECK(!table_->empty()) << "UndoInsert on empty view";
+  std::vector<Row>& rows = MutableTable().mutable_rows();
+  KeyIndex& index = MutableIndex();
+  index.EraseKey(ProjectRow(rows.back(), index.key_indices()));
   rows.pop_back();
 }
 
 void MaterializedView::UndoDelete(size_t position, Row row) {
-  std::vector<Row>& rows = table_.mutable_rows();
+  std::vector<Row>& rows = MutableTable().mutable_rows();
+  KeyIndex& index = MutableIndex();
   GPIVOT_CHECK(position <= rows.size()) << "UndoDelete out of range";
   if (position == rows.size()) {
     // The deleted row was the last one; no swap happened.
-    index_.Insert(row, position);
+    index.Insert(row, position);
     rows.push_back(std::move(row));
     return;
   }
   // Delete moved the then-last row into `position`; move it back to the end
   // and re-seat the deleted row where it was.
   rows.push_back(std::move(rows[position]));
-  index_.Reposition(rows.back(), rows.size() - 1);
-  index_.Insert(row, position);
+  index.Reposition(rows.back(), rows.size() - 1);
+  index.Insert(row, position);
   rows[position] = std::move(row);
 }
 
 Status MaterializedView::ValidateIntegrity() const {
-  if (index_.size() != table_.num_rows()) {
-    return Status::Internal(StrCat("key index holds ", index_.size(),
-                                   " entries for ", table_.num_rows(),
+  if (index_->size() != table_->num_rows()) {
+    return Status::Internal(StrCat("key index holds ", index_->size(),
+                                   " entries for ", table_->num_rows(),
                                    " view rows"));
   }
-  for (size_t i = 0; i < table_.num_rows(); ++i) {
-    Row key = ProjectRow(table_.rows()[i], index_.key_indices());
-    std::optional<size_t> position = index_.LookupKey(key);
+  for (size_t i = 0; i < table_->num_rows(); ++i) {
+    Row key = ProjectRow(table_->rows()[i], index_->key_indices());
+    std::optional<size_t> position = index_->LookupKey(key);
     if (!position.has_value() || *position != i) {
       return Status::Internal(
           StrCat("key index maps key ", RowToString(key), " of row ", i,

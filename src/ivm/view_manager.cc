@@ -215,6 +215,11 @@ Status ViewManager::ApplyUpdateInternal(const char* entry,
   if (st.ok()) st = AdvanceBaseInternal(deltas, &undo);
   if (!st.ok()) RollbackEpoch(&undo);
   RecordEpoch(entry, deltas, /*staged=*/true, st, /*rejected=*/false);
+  // Committed state serves before the durability hook's checkpoint cadence
+  // runs: a slow checkpoint must not delay read visibility.
+  if (st.ok() && commit_hook_ != nullptr) {
+    commit_hook_->OnEpochCommitted(*last_epoch_);
+  }
   if (durability_hook_ != nullptr) {
     Status hook_st =
         durability_hook_->OnEpochResolved(last_epoch_->seq, st.ok());
@@ -246,6 +251,9 @@ Status ViewManager::RefreshViews(const SourceDeltas& deltas) {
   if (!st.ok()) RollbackEpoch(&undo);
   RecordEpoch("refresh_views", deltas, /*staged=*/true, st,
               /*rejected=*/false);
+  if (st.ok() && commit_hook_ != nullptr) {
+    commit_hook_->OnEpochCommitted(*last_epoch_);
+  }
   return st;
 }
 
@@ -269,6 +277,9 @@ Status ViewManager::AdvanceBase(const SourceDeltas& deltas) {
   if (!st.ok()) RollbackEpoch(&undo);
   RecordEpoch("advance_base", deltas, /*staged=*/false, st,
               /*rejected=*/false);
+  if (st.ok() && commit_hook_ != nullptr) {
+    commit_hook_->OnEpochCommitted(*last_epoch_);
+  }
   return st;
 }
 

@@ -79,6 +79,25 @@ class EpochDurabilityHook {
   virtual Status OnEpochResolved(uint64_t seq, bool committed) = 0;
 };
 
+// Observer a serving layer installs to learn the instant a committed epoch's
+// state becomes current — the snapshot-install point. Mirrors
+// EpochDurabilityHook's threading contract: the callback runs on the thread
+// driving the epoch, with no manager lock held. It fires after the epoch's
+// record was written (LastEpochReport() describes it) and only for epochs
+// that committed new state — never for rejected, rolled-back, or no-op
+// calls — so a hook that publishes snapshots can never expose a state the
+// epoch log does not record as committed. All four entry points fire it:
+// ApplyUpdate / BatchedApplyUpdate after views and base advanced,
+// RefreshViews and AdvanceBase after their half committed.
+class EpochCommitHook {
+ public:
+  virtual ~EpochCommitHook() = default;
+
+  // `record` is the committed epoch's report; record.seq is the sequence
+  // number its state is current as of.
+  virtual void OnEpochCommitted(const EpochRecord& record) = 0;
+};
+
 // Owns the base tables and a set of materialized views, keeping the views
 // consistent with the base as delta batches arrive. This is the end-to-end
 // entry point benchmarks and examples use.
@@ -198,6 +217,13 @@ class ViewManager {
     durability_hook_ = hook;
   }
 
+  // Commit observer for every entry point (nullptr = none, the default).
+  // Must outlive this manager or be unset first. Called after the durability
+  // hook's write-ahead point but before OnEpochResolved, so freshly
+  // committed state serves before the (possibly slow) checkpoint cadence
+  // runs.
+  void set_commit_hook(EpochCommitHook* hook) { commit_hook_ = hook; }
+
   // The sequence number of the most recent seq-consuming epoch (0 before
   // any). The next committed/rolled-back/rejected epoch records as
   // epoch_seq() + 1.
@@ -249,6 +275,7 @@ class ViewManager {
   std::optional<EpochRecord> last_epoch_;
   obs::EventLog* event_log_ = nullptr;
   EpochDurabilityHook* durability_hook_ = nullptr;
+  EpochCommitHook* commit_hook_ = nullptr;
 };
 
 }  // namespace gpivot::ivm

@@ -25,6 +25,16 @@ void EncodeTableMap(const std::map<std::string, Table>& tables,
   }
 }
 
+void EncodeTableMap(
+    const std::map<std::string, std::shared_ptr<const Table>>& tables,
+    BinaryWriter* out) {
+  out->PutU32(static_cast<uint32_t>(tables.size()));
+  for (const auto& [name, table] : tables) {
+    out->PutString(name);
+    EncodeTable(*table, out);
+  }
+}
+
 Result<std::map<std::string, Table>> DecodeTableMap(BinaryReader* in,
                                                     const char* what) {
   GPIVOT_ASSIGN_OR_RETURN(uint32_t ntables, in->GetU32());
@@ -100,7 +110,13 @@ Result<CheckpointContents> ReadCheckpoint(const std::string& path) {
   CheckpointContents contents;
   GPIVOT_ASSIGN_OR_RETURN(contents.epoch_seq, body.GetU64());
   GPIVOT_ASSIGN_OR_RETURN(contents.base_tables, DecodeTableMap(&body, "base"));
-  GPIVOT_ASSIGN_OR_RETURN(contents.view_tables, DecodeTableMap(&body, "view"));
+  Result<std::map<std::string, Table>> view_tables =
+      DecodeTableMap(&body, "view");
+  GPIVOT_RETURN_NOT_OK(view_tables.status());
+  for (auto& [name, table] : *view_tables) {
+    contents.view_tables.emplace(
+        name, std::make_shared<const Table>(std::move(table)));
+  }
   if (!body.exhausted()) return bad("trailing bytes inside payload");
   return contents;
 }

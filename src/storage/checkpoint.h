@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,7 +40,11 @@ inline constexpr uint32_t kCheckpointVersion = 1;
 struct CheckpointContents {
   uint64_t epoch_seq = 0;
   std::map<std::string, Table> base_tables;
-  std::map<std::string, Table> view_tables;
+  // View tables ride as shared immutable handles: the checkpoint writer
+  // only *reads* them, so it borrows the MaterializedView's current version
+  // (shared_table()) instead of deep-copying every view — O(1) per view,
+  // and safe against later epochs because view mutation is copy-on-write.
+  std::map<std::string, std::shared_ptr<const Table>> view_tables;
 };
 
 // Serializes `contents` and writes it atomically to `path`.

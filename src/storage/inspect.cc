@@ -72,7 +72,7 @@ void InspectCheckpointFile(const std::string& path, InspectReport* report) {
   }
   for (const auto& [name, table] : contents->view_tables) {
     report->text +=
-        StrCat("  view ", name, ": ", table.num_rows(), " rows\n");
+        StrCat("  view ", name, ": ", table->num_rows(), " rows\n");
   }
 }
 

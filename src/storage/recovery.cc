@@ -127,8 +127,10 @@ Result<std::unique_ptr<DurableViewManager>> DurableViewManager::Open(
     if (snapshot.has_value()) {
       auto it = snapshot->view_tables.find(def.name);
       if (it != snapshot->view_tables.end()) {
+        // ReadCheckpoint created this table, so the handle is uniquely
+        // owned here; one copy re-materializes it (startup only).
         GPIVOT_RETURN_NOT_OK(manager->RestoreView(
-            def.name, def.query, def.strategy, std::move(it->second)));
+            def.name, def.query, def.strategy, Table(*it->second)));
         restored = true;
       }
     }
@@ -241,7 +243,10 @@ Status DurableViewManager::WriteSnapshot() {
   for (const std::string& name : manager_->ViewNames()) {
     GPIVOT_ASSIGN_OR_RETURN(const ivm::MaterializedView* view,
                             manager_->GetView(name));
-    contents.view_tables.emplace(name, view->table());
+    // Borrow, don't copy: the writer only reads the view table, and the
+    // view's copy-on-write mutation protects the borrowed version from
+    // any epoch that commits while the checkpoint encodes.
+    contents.view_tables.emplace(name, view->shared_table());
   }
   const std::string path =
       StrCat(options_.dir, "/", CheckpointFileName(contents.epoch_seq));

@@ -13,11 +13,14 @@
 #include <string>
 #include <vector>
 
+#include "expr/expr.h"
 #include "ivm/batcher.h"
 #include "ivm/view_manager.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/query.h"
+#include "serve/snapshot.h"
 #include "test_util.h"
 #include "tpch/dbgen.h"
 #include "tpch/views.h"
@@ -289,6 +292,130 @@ TEST(ObsDeterminismTest, BatcherFlushArtifactsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(sequential.explain_text, parallel.explain_text);
   EXPECT_EQ(sequential.explain_json, parallel.explain_json);
   EXPECT_EQ(sequential.event_log_bytes, parallel.event_log_bytes);
+}
+
+// A serving scenario's observable artifacts at (threads, vector_chunk):
+// epochs churn the views through the batcher while a registered reader runs
+// the same fixed query script between epochs. Everything below must be a
+// pure function of the workload — reader-side query results and counters,
+// store-side serve.* counters, and the epoch JSONL including the serving
+// layer's install/retire lines.
+struct ServingArtifacts {
+  std::map<std::string, std::vector<Row>> query_rows;
+  std::map<std::string, uint64_t> store_counters;
+  std::map<std::string, uint64_t> reader_counters;
+  std::string event_log_bytes;
+};
+
+ServingArtifacts RunServingScenario(size_t threads,
+                                    size_t vector_chunk = kVectorChunkAuto) {
+  std::string log_path = ::testing::TempDir() + "/gpivot_serve_det_" +
+                         std::to_string(threads) + "_" +
+                         std::to_string(vector_chunk) + ".jsonl";
+  std::remove(log_path.c_str());
+  obs::EventLog log(log_path);
+  EXPECT_TRUE(log.ok()) << log.error();
+  ExecContext maintain_ctx;
+  maintain_ctx.num_threads = threads;
+  maintain_ctx.min_parallel_rows = 1;
+  maintain_ctx.vector_chunk_size = vector_chunk;
+  tpch::Config config = SmallConfig();
+  ViewManager manager = MakeThreeViewManager(config, maintain_ctx);
+  manager.set_event_log(&log);
+
+  obs::MetricsRegistry store_registry;
+  store_registry.set_enabled(true);
+  serve::SnapshotStore store(&manager, serve::ServeOptions{}, &store_registry,
+                             &log);
+  EXPECT_TRUE(store.Attach().ok());
+  serve::ReaderHandle* handle = store.RegisterReader().value();
+
+  obs::MetricsRegistry reader_registry;
+  reader_registry.set_enabled(true);
+  ExecContext reader_ctx;
+  reader_ctx.metrics = &reader_registry;
+  reader_ctx.vector_chunk_size = vector_chunk;
+  serve::QueryService service(&store, reader_ctx);
+
+  // Fixed query script: one snapshot-tagged lookup, scan, and top-k per
+  // view version. The lookup key is the first v1 row's key at epoch 0 —
+  // new-key churn never touches initial-view keys, so it stays present.
+  const ivm::MaterializedView* v1 = manager.GetView("v1").value();
+  EXPECT_GT(v1->num_rows(), 0u);
+  Row lookup_key = ProjectRow(v1->RowAt(0), v1->key_indices());
+  ExprPtr window = Gt(Col("orderkey"), Lit(int64_t{100}));
+
+  ServingArtifacts artifacts;
+  auto run_queries = [&](const std::string& tag) {
+    std::optional<Row> hit =
+        service.PointLookup("v1", lookup_key, handle).value();
+    EXPECT_TRUE(hit.has_value());
+    artifacts.query_rows["lookup:" + tag] = {*hit};
+    Table scanned = service.Scan("v1", window, handle).value();
+    artifacts.query_rows["scan:" + tag] = scanned.rows();
+    Table top = service.TopK("v1", "1**extendedprice", 5, handle).value();
+    artifacts.query_rows["topk:" + tag] = top.rows();
+  };
+
+  run_queries("epoch0");
+  std::vector<SourceDeltas> batches = ChurnBatches(manager, config, 4);
+  ivm::DeltaBatcher batcher(&manager);
+  for (const SourceDeltas& batch : batches) {
+    EXPECT_TRUE(batcher.Ingest(batch).ok());
+  }
+  EXPECT_TRUE(batcher.Flush().ok());
+  run_queries("epoch1");
+  SourceDeltas mixed =
+      tpch::MakeLineitemInsertsMixed(manager.catalog(), config, 0.05, 42)
+          .value();
+  EXPECT_TRUE(manager.ApplyUpdate(mixed).ok());
+  run_queries("epoch2");
+
+  store.UnregisterReader(handle);
+  artifacts.store_counters = store_registry.Snapshot().counters;
+  artifacts.reader_counters = reader_registry.Snapshot().counters;
+  std::ifstream in(log_path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  artifacts.event_log_bytes = buffer.str();
+  std::remove(log_path.c_str());
+  return artifacts;
+}
+
+TEST(ObsDeterminismTest, ServingArtifactsIdenticalAcrossThreadsAndChunks) {
+  ServingArtifacts reference = RunServingScenario(1, 1024);
+  // The scenario exercised the whole serving surface…
+  EXPECT_EQ(reference.store_counters.at("serve.snapshot.installs"), 3u);
+  // Two post-attach epochs retire one superseded version per view.
+  EXPECT_EQ(reference.store_counters.at("serve.retire.count"), 6u);
+  EXPECT_EQ(reference.reader_counters.at("serve.query.lookup"), 3u);
+  EXPECT_EQ(reference.reader_counters.at("serve.query.scan"), 3u);
+  EXPECT_EQ(reference.reader_counters.at("serve.query.topk"), 3u);
+  EXPECT_EQ(reference.store_counters.count("serve.read.locks"), 0u)
+      << "registered reader fell off the lock-free path";
+  // …and the epoch log now interleaves serving records with epoch records.
+  ASSERT_NE(reference.event_log_bytes.find("\"serve\": \"install\""),
+            std::string::npos)
+      << reference.event_log_bytes;
+  ASSERT_NE(reference.event_log_bytes.find("\"serve\": \"retire\""),
+            std::string::npos);
+  ASSERT_NE(reference.event_log_bytes.find("\"outcome\": \"committed\""),
+            std::string::npos);
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (size_t chunk : {size_t{0}, size_t{1024}}) {
+      if (threads == 1 && chunk == 1024) continue;  // the reference itself
+      ServingArtifacts other = RunServingScenario(threads, chunk);
+      EXPECT_EQ(reference.query_rows, other.query_rows)
+          << "query results depend on the schedule (threads=" << threads
+          << ", chunk=" << chunk << ")";
+      EXPECT_EQ(reference.store_counters, other.store_counters);
+      EXPECT_EQ(reference.reader_counters, other.reader_counters);
+      EXPECT_EQ(reference.event_log_bytes, other.event_log_bytes)
+          << "serving event-log bytes depend on the schedule (threads="
+          << threads << ", chunk=" << chunk << ")";
+    }
+  }
 }
 
 TEST(ObsDeterminismTest, UnobservedEpochMatchesObservedResults) {

@@ -1,0 +1,310 @@
+// Concurrency stress for the serving layer, written to run clean under
+// ThreadSanitizer (the CI tsan job includes this suite): four reader
+// threads hammer Acquire / QueryService while the main thread drives a
+// deterministic schedule of committed, rolled-back (fault-injected), and
+// no-op epochs. Every snapshot a reader observes must be byte-identical to
+// the view state at some *committed* epoch — precomputed on a scratch
+// manager before any thread starts — and rolled-back seqs must never be
+// observable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/gpivot.h"
+#include "expr/expr.h"
+#include "ivm/view_manager.h"
+#include "obs/metrics.h"
+#include "serve/query.h"
+#include "serve/snapshot.h"
+#include "test_util.h"
+#include "util/fault_injection.h"
+
+namespace gpivot {
+namespace {
+
+using ivm::RefreshStrategy;
+using ivm::SourceDeltas;
+using ivm::ViewManager;
+using serve::QueryService;
+using serve::ReaderHandle;
+using serve::ServeOptions;
+using serve::Snapshot;
+using serve::SnapshotStore;
+using testing::I;
+using testing::MakeTable;
+using testing::S;
+
+constexpr size_t kReaders = 4;
+constexpr size_t kEpochSchedule = 24;  // mixed commit / rollback / no-op
+
+Catalog PivotCatalog() {
+  Catalog catalog;
+  Table items = MakeTable({{"ID", DataType::kInt64},
+                           {"Attribute", DataType::kString},
+                           {"Value", DataType::kString}},
+                          {{I(1), S("Manu"), S("Sony")},
+                           {I(1), S("Type"), S("TV")},
+                           {I(2), S("Manu"), S("Panasonic")}});
+  EXPECT_TRUE(items.SetKey({"ID", "Attribute"}).ok());
+  Table payment = MakeTable(
+      {{"ID", DataType::kInt64}, {"Price", DataType::kInt64}},
+      {{I(1), I(200)}, {I(2), I(300)}});
+  EXPECT_TRUE(payment.SetKey({"ID"}).ok());
+  EXPECT_TRUE(catalog.AddTable("Items", std::move(items)).ok());
+  EXPECT_TRUE(catalog.AddTable("Payment", std::move(payment)).ok());
+  return catalog;
+}
+
+ViewManager MakePivotManager() {
+  Catalog catalog = PivotCatalog();
+  PlanPtr items = MakeScan(catalog, "Items").value();
+  PlanPtr payment = MakeScan(catalog, "Payment").value();
+  PivotSpec spec;
+  spec.pivot_by = {"Attribute"};
+  spec.pivot_on = {"Value"};
+  spec.combos = {{S("Manu")}, {S("Type")}};
+  PlanPtr view = MakeJoin(MakeGPivot(items, spec), payment, {"ID"});
+  ViewManager manager(std::move(catalog));
+  EXPECT_TRUE(manager.DefineView("v", view, RefreshStrategy::kUpdate).ok());
+  return manager;
+}
+
+// Step `i` of the schedule. kCommit churns item 2's Type attribute (so the
+// view changes every committed epoch); kRollback attempts the same delta
+// under an armed fault; kNoOp flushes an empty batch.
+enum class StepKind { kCommit, kRollback, kNoOp };
+
+StepKind StepAt(size_t i) {
+  if (i % 4 == 2) return StepKind::kRollback;
+  if (i % 4 == 3) return StepKind::kNoOp;
+  return StepKind::kCommit;
+}
+
+SourceDeltas ChurnDelta(const ViewManager& manager, size_t step) {
+  ivm::Delta delta = ivm::Delta::Empty(
+      manager.catalog().GetTable("Items").value()->schema());
+  // Retract the previous committed churn row, if any, then set a new one.
+  size_t committed_before = 0;
+  for (size_t j = 0; j < step; ++j) {
+    if (StepAt(j) == StepKind::kCommit) ++committed_before;
+  }
+  if (committed_before > 0) {
+    std::string prev = "v" + std::to_string(committed_before - 1);
+    delta.deletes.AddRow({I(2), S("Type"), S(prev.c_str())});
+  }
+  std::string next = "v" + std::to_string(committed_before);
+  delta.inserts.AddRow({I(2), S("Type"), S(next.c_str())});
+  return SourceDeltas{{"Items", std::move(delta)}};
+}
+
+// Runs the schedule on `manager` without any serving layer and records the
+// exact view rows after every committed epoch, keyed by seq.
+struct ExpectedStates {
+  std::map<uint64_t, std::vector<Row>> by_seq;  // committed seqs only
+};
+
+ExpectedStates ComputeExpected() {
+  ViewManager manager = MakePivotManager();
+  ExpectedStates expected;
+  expected.by_seq[0] = manager.GetView("v").value()->table().rows();
+  for (size_t i = 0; i < kEpochSchedule; ++i) {
+    switch (StepAt(i)) {
+      case StepKind::kCommit:
+        EXPECT_TRUE(manager.ApplyUpdate(ChurnDelta(manager, i)).ok());
+        expected.by_seq[manager.epoch_seq()] =
+            manager.GetView("v").value()->table().rows();
+        break;
+      case StepKind::kRollback: {
+        FaultInjector::Global().Arm(1);
+        EXPECT_FALSE(manager.ApplyUpdate(ChurnDelta(manager, i)).ok());
+        FaultInjector::Global().Disarm();
+        break;
+      }
+      case StepKind::kNoOp:
+        EXPECT_TRUE(manager.ApplyUpdate(SourceDeltas{}).ok());
+        break;
+    }
+  }
+  return expected;
+}
+
+struct ReaderResult {
+  std::atomic<uint64_t> iterations{0};
+  std::atomic<uint64_t> distinct_seqs{0};
+  std::atomic<uint64_t> failures{0};
+  std::string first_failure;  // written once, read after join
+};
+
+void ReaderLoop(const SnapshotStore* store, const ExpectedStates* expected,
+                ReaderHandle* handle, const std::atomic<bool>* done,
+                ReaderResult* result) {
+  // Per-reader metrics keep counter traffic off the global registry.
+  obs::MetricsRegistry metrics;
+  metrics.set_enabled(true);
+  ExecContext ctx;
+  ctx.metrics = &metrics;
+  QueryService service(store, ctx);
+  ExprPtr scan_predicate = Gt(Col("Price"), Lit(int64_t{250}));
+
+  std::vector<uint64_t> seen;
+  auto fail = [&](std::string why) {
+    if (result->failures.fetch_add(1) == 0) {
+      result->first_failure = std::move(why);
+    }
+  };
+
+  while (!done->load(std::memory_order_acquire) ||
+         result->iterations.load(std::memory_order_relaxed) == 0) {
+    std::shared_ptr<const Snapshot> snapshot = store->Acquire("v", handle);
+    if (snapshot == nullptr) {
+      fail("Acquire returned null");
+      break;
+    }
+    uint64_t seq = snapshot->epoch_seq();
+    auto it = expected->by_seq.find(seq);
+    if (it == expected->by_seq.end()) {
+      fail("observed non-committed epoch seq " + std::to_string(seq));
+    } else if (snapshot->table().rows() != it->second) {
+      fail("snapshot rows diverge from committed state at seq " +
+           std::to_string(seq));
+    }
+
+    // Exercise the query surface against the same pinned version.
+    auto scan = service.Scan("v", scan_predicate, handle);
+    if (!scan.ok()) fail("Scan failed: " + scan.status().ToString());
+    auto topk = service.TopK("v", "Price", 1, handle);
+    if (!topk.ok()) {
+      fail("TopK failed: " + topk.status().ToString());
+    } else if (topk->num_rows() != 1) {
+      fail("TopK row count");
+    }
+
+    if (std::find(seen.begin(), seen.end(), seq) == seen.end()) {
+      seen.push_back(seq);
+      result->distinct_seqs.store(seen.size(), std::memory_order_relaxed);
+    }
+    result->iterations.fetch_add(1, std::memory_order_release);
+  }
+}
+
+TEST(ServeStressTest, ReadersSeeOnlyCommittedEpochsUnderChurn) {
+  ExpectedStates expected = ComputeExpected();
+  ASSERT_GE(expected.by_seq.size(), 4u);
+
+  ViewManager manager = MakePivotManager();
+  ServeOptions options;
+  options.max_pinned_epochs = kReaders + 1;
+  SnapshotStore store(&manager, options);
+  ASSERT_OK(store.Attach());
+
+  std::atomic<bool> done{false};
+  std::vector<ReaderHandle*> handles;
+  for (size_t r = 0; r < kReaders; ++r) {
+    ASSERT_OK_AND_ASSIGN(ReaderHandle * handle, store.RegisterReader());
+    handles.push_back(handle);
+  }
+
+  std::vector<ReaderResult> results(kReaders);
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back(ReaderLoop, &store, &expected, handles[r], &done,
+                         &results[r]);
+  }
+
+  // Writer: same schedule as the scratch run, but now pacing each step so
+  // every reader completes at least two acquires against the new head
+  // before the next epoch — guaranteeing genuine read/write overlap on
+  // every committed version instead of racing through the schedule.
+  auto wait_for_overlap = [&]() {
+    std::vector<uint64_t> marks(kReaders);
+    for (size_t r = 0; r < kReaders; ++r) {
+      marks[r] = results[r].iterations.load(std::memory_order_acquire);
+    }
+    for (size_t r = 0; r < kReaders; ++r) {
+      while (results[r].iterations.load(std::memory_order_acquire) <
+             marks[r] + 2) {
+        std::this_thread::yield();
+      }
+    }
+  };
+
+  for (size_t i = 0; i < kEpochSchedule; ++i) {
+    switch (StepAt(i)) {
+      case StepKind::kCommit:
+        ASSERT_OK(manager.ApplyUpdate(ChurnDelta(manager, i)));
+        break;
+      case StepKind::kRollback:
+        FaultInjector::Global().Arm(1);
+        EXPECT_FALSE(manager.ApplyUpdate(ChurnDelta(manager, i)).ok());
+        FaultInjector::Global().Disarm();
+        break;
+      case StepKind::kNoOp:
+        ASSERT_OK(manager.ApplyUpdate(SourceDeltas{}));
+        break;
+    }
+    wait_for_overlap();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  for (size_t r = 0; r < kReaders; ++r) {
+    EXPECT_EQ(results[r].failures.load(), 0u)
+        << "reader " << r << ": " << results[r].first_failure;
+    // Paced overlap means every reader ran against several distinct
+    // committed versions, not just the final one.
+    EXPECT_GE(results[r].distinct_seqs.load(), 4u) << "reader " << r;
+    EXPECT_GT(results[r].iterations.load(), 0u) << "reader " << r;
+  }
+
+  for (ReaderHandle* handle : handles) store.UnregisterReader(handle);
+  store.FlushRetired();
+  EXPECT_EQ(store.retired_count(), 0u);
+}
+
+TEST(ServeStressTest, HandleLessReadersShareLockedPathWithWriter) {
+  // The slow path serializes on the writer's retire mutex; run it
+  // concurrently with installs to give TSan a look at that pairing too.
+  ViewManager manager = MakePivotManager();
+  obs::MetricsRegistry metrics;
+  metrics.set_enabled(true);
+  SnapshotStore store(&manager, ServeOptions{}, &metrics);
+  ASSERT_OK(store.Attach());
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> bad{0};
+  std::atomic<uint64_t> reads{0};
+  std::thread reader([&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      std::shared_ptr<const Snapshot> snapshot = store.Acquire("v", nullptr);
+      if (snapshot == nullptr || snapshot->table().empty()) {
+        bad.fetch_add(1);
+      }
+      reads.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  for (size_t i = 0; i < kEpochSchedule; ++i) {
+    if (StepAt(i) != StepKind::kCommit) continue;
+    // Pace so each install overlaps live slow-path reads.
+    uint64_t mark = reads.load(std::memory_order_acquire);
+    ASSERT_OK(manager.ApplyUpdate(ChurnDelta(manager, i)));
+    while (reads.load(std::memory_order_acquire) < mark + 2) {
+      std::this_thread::yield();
+    }
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GT(metrics.Snapshot().counters.at("serve.read.locks"), 0u);
+}
+
+}  // namespace
+}  // namespace gpivot

@@ -293,7 +293,8 @@ TEST(CorruptionFuzzTest, EveryCheckpointBitFlipCaught) {
   ASSERT_TRUE(items.SetKey({"ID", "Attribute"}).ok());
   contents.base_tables.emplace("Items", std::move(items));
   contents.view_tables.emplace(
-      "v", MakeTable({{"ID", DataType::kInt64}}, {{I(1)}}));
+      "v", std::make_shared<const Table>(
+               MakeTable({{"ID", DataType::kInt64}}, {{I(1)}})));
   ASSERT_TRUE(WriteCheckpoint(path, contents).ok());
   auto pristine = ReadFileToString(path);
   ASSERT_TRUE(pristine.ok());

@@ -198,7 +198,8 @@ CheckpointContents FixtureCheckpoint(uint64_t seq) {
   EXPECT_TRUE(items.SetKey({"ID", "Attribute"}).ok());
   contents.base_tables.emplace("Items", std::move(items));
   contents.view_tables.emplace(
-      "v", MakeTable({{"ID", DataType::kInt64}}, {{I(seq)}}));
+      "v", std::make_shared<const Table>(
+               MakeTable({{"ID", DataType::kInt64}}, {{I(seq)}})));
   return contents;
 }
 
@@ -229,7 +230,7 @@ TEST_F(WalTest, CheckpointRoundTripAndDiscovery) {
   ASSERT_EQ(loaded->base_tables.count("Items"), 1u);
   EXPECT_EQ(loaded->base_tables.at("Items").key(),
             (std::vector<std::string>{"ID", "Attribute"}));
-  EXPECT_EQ(loaded->view_tables.at("v").rows()[0][0], I(10));
+  EXPECT_EQ(loaded->view_tables.at("v")->rows()[0][0], I(10));
 }
 
 TEST_F(WalTest, CheckpointWriteIsAtomicUnderFaults) {

@@ -27,7 +27,11 @@ struct BenchDiffOptions {
   bool require_all = true;
   // Counters whose values depend on scheduling rather than on the work
   // (matched by prefix) are excluded from the exact-equality check.
-  std::vector<std::string> ignore_counter_prefixes = {"thread_pool."};
+  // serve.acquire.* counts reader-side fast-path traffic and serve.retire.*
+  // counts versions released at install time — both depend on how reader
+  // hazards interleave with the maintenance thread, not on the workload.
+  std::vector<std::string> ignore_counter_prefixes = {
+      "thread_pool.", "serve.acquire.", "serve.retire."};
 };
 
 // Human-readable findings of one comparison run.
