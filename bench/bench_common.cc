@@ -15,6 +15,7 @@
 
 #include "exec/vector_ops.h"
 #include "ivm/view_manager.h"
+#include "obs/admin.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -48,6 +49,8 @@ constexpr const char* kKnownEnvVars[] = {
     "GPIVOT_VECTOR_CHUNK_SIZE", "GPIVOT_SERVE_READERS",
     "GPIVOT_SERVE_MAX_PINNED_EPOCHS", "GPIVOT_SERVE_MIX",
     "GPIVOT_SERVE_EPOCHS",  "GPIVOT_SERVE_OPS",
+    "GPIVOT_ADMIN_PORT",    "GPIVOT_ADMIN_STUCK_EPOCH_MS",
+    "GPIVOT_ADMIN_SAMPLE_MS",
 };
 
 using BenchRecord = FigureRecord;
@@ -107,6 +110,18 @@ void ValidateBenchEnv() {
                    storage->dir.c_str());
       std::exit(2);
     }
+  }
+  // Start the admin endpoint (GPIVOT_ADMIN_PORT) before any workload runs
+  // so /healthz answers during data generation too. Same strictness: a
+  // garbled port or a failed bind is exit 2, not a silent no-admin run.
+  Result<obs::AdminServer*> admin = obs::AdminServerFromEnv();
+  if (!admin.ok()) {
+    std::fprintf(stderr, "bench: %s\n", admin.status().ToString().c_str());
+    std::exit(2);
+  }
+  if (*admin != nullptr) {
+    std::fprintf(stderr, "bench: admin endpoint on 127.0.0.1:%d\n",
+                 (*admin)->port());
   }
 }
 

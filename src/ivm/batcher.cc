@@ -5,11 +5,24 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/runtime.h"
 #include "util/string_util.h"
 
 namespace gpivot::ivm {
 
 namespace {
+
+// Publishes the batcher's live queue depth to the runtime (admin-only)
+// registry; /healthz compares pending_net_rows against max_net_rows. A
+// single relaxed load when the admin surface is off.
+void PublishQueueGauges(size_t pending_net_rows, size_t pending_batches) {
+  obs::RuntimeRegistry& runtime = obs::RuntimeRegistry::Global();
+  if (!runtime.enabled()) return;
+  runtime.metrics().SetGauge("ivm.batcher.pending_net_rows",
+                             static_cast<double>(pending_net_rows));
+  runtime.metrics().SetGauge("ivm.batcher.pending_batches",
+                             static_cast<double>(pending_batches));
+}
 
 // One table's signed row bag. Entries keep first-touch order; a row whose
 // multiplicity returns to zero stays in the vector (dead weight until the
@@ -153,7 +166,13 @@ Result<BatcherOptions> BatcherOptions::FromEnv() {
 DeltaBatcher::DeltaBatcher(ViewManager* manager, BatcherOptions options)
     : manager_(manager),
       options_(options),
-      net_(std::make_unique<NetState>()) {}
+      net_(std::make_unique<NetState>()) {
+  obs::RuntimeRegistry& runtime = obs::RuntimeRegistry::Global();
+  if (runtime.enabled()) {
+    runtime.metrics().SetGauge("ivm.batcher.max_net_rows",
+                               static_cast<double>(options_.max_net_rows));
+  }
+}
 
 DeltaBatcher::~DeltaBatcher() = default;
 
@@ -176,6 +195,7 @@ Status DeltaBatcher::Ingest(const SourceDeltas& deltas) {
     metrics->AddCounter("ivm.batcher.rows_ingested", ingested);
     metrics->AddCounter("ivm.batcher.rows_cancelled", cancelled);
   }
+  PublishQueueGauges(net_->net_rows, pending_batches_);
   bool batch_limit =
       options_.max_batches > 0 && pending_batches_ >= options_.max_batches;
   bool row_limit =
@@ -203,6 +223,7 @@ Status DeltaBatcher::Flush() {
   }
   *net_ = NetState();
   pending_batches_ = 0;
+  PublishQueueGauges(0, 0);
   return Status::OK();
 }
 

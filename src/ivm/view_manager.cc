@@ -5,6 +5,7 @@
 
 #include "obs/json_util.h"
 #include "obs/metrics.h"
+#include "obs/runtime.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
@@ -210,6 +211,10 @@ Status ViewManager::ApplyUpdateInternal(const char* entry,
           ? obs::ScopedSpan(exec_context_.tracer, "epoch")
           : obs::ScopedSpan();
   obs::ScopedLatency latency(exec_context_.metrics, "ivm.epoch.ms");
+  // Runtime heartbeat for the stuck-epoch watchdog (no-op unless the admin
+  // surface enabled the runtime registry). EndEpoch runs inside
+  // RecordEpoch, whatever the outcome.
+  obs::RuntimeRegistry::Global().BeginEpochPhase(epoch_seq_ + 1, "stage");
   EpochUndo undo;
   Status st = RefreshViewsInternal(deltas, &undo);
   if (st.ok()) st = AdvanceBaseInternal(deltas, &undo);
@@ -246,6 +251,7 @@ Status ViewManager::RefreshViews(const SourceDeltas& deltas) {
           ? obs::ScopedSpan(exec_context_.tracer, "epoch")
           : obs::ScopedSpan();
   obs::ScopedLatency latency(exec_context_.metrics, "ivm.epoch.ms");
+  obs::RuntimeRegistry::Global().BeginEpochPhase(epoch_seq_ + 1, "stage");
   EpochUndo undo;
   Status st = RefreshViewsInternal(deltas, &undo);
   if (!st.ok()) RollbackEpoch(&undo);
@@ -272,6 +278,9 @@ Status ViewManager::AdvanceBase(const SourceDeltas& deltas) {
           ? obs::ScopedSpan(exec_context_.tracer, "epoch")
           : obs::ScopedSpan();
   obs::ScopedLatency latency(exec_context_.metrics, "ivm.epoch.ms");
+  // No separate stage pass here: the base advance is itself the mutating
+  // (commit-like) phase.
+  obs::RuntimeRegistry::Global().BeginEpochPhase(epoch_seq_ + 1, "commit");
   EpochUndo undo;
   Status st = AdvanceBaseInternal(deltas, &undo);
   if (!st.ok()) RollbackEpoch(&undo);
@@ -326,6 +335,7 @@ Status ViewManager::RefreshViewsInternal(const SourceDeltas& deltas,
   // Commit phase: apply each view's merge, logging every mutation so a
   // failure here (or later in the epoch) rolls everything back. Stays
   // serial — the undo log's "reverse commit order" rollback depends on it.
+  obs::RuntimeRegistry::Global().BeginEpochPhase(epoch_seq_ + 1, "commit");
   obs::ScopedSpan commit_span =
       obs::TraceEnabled(exec_context_.tracer)
           ? obs::ScopedSpan(exec_context_.tracer, "commit")
@@ -458,6 +468,17 @@ void ViewManager::RecordEpoch(const char* entry, const SourceDeltas& deltas,
   if (event_log_ != nullptr && event_log_->ok()) {
     event_log_->Append(last_epoch_->ToJsonLine());
   }
+  // Runtime (admin-only) surface: heartbeat off, logical clock forward,
+  // record into the /epochz ring. Never touches exec_context_.metrics, so
+  // deterministic artifacts cannot see any of it.
+  obs::RuntimeRegistry& runtime = obs::RuntimeRegistry::Global();
+  if (runtime.enabled()) {
+    runtime.EndEpoch(last_epoch_->seq);
+    runtime.metrics().SetGauge("ivm.manager.epoch_seq",
+                               static_cast<double>(last_epoch_->seq));
+    runtime.metrics().AddCounter("ivm.epoch.resolved");
+    runtime.RecordEpochJson(last_epoch_->ToJsonLine());
+  }
 }
 
 void ViewManager::RecordNoOpEpoch(const char* entry,
@@ -483,6 +504,12 @@ void ViewManager::RecordNoOpEpoch(const char* entry,
   last_epoch_ = std::move(record);
   if (event_log_ != nullptr && event_log_->ok()) {
     event_log_->Append(last_epoch_->ToJsonLine());
+  }
+  // No-ops consume no seq and never began a heartbeat phase, but they are
+  // still interesting in /epochz (a live timer flushing empty batches).
+  obs::RuntimeRegistry& runtime = obs::RuntimeRegistry::Global();
+  if (runtime.enabled()) {
+    runtime.RecordEpochJson(last_epoch_->ToJsonLine());
   }
 }
 

@@ -5,9 +5,22 @@
 #include <vector>
 
 #include "exec/basic_ops.h"
+#include "obs/runtime.h"
 #include "util/string_util.h"
 
 namespace gpivot::serve {
+
+namespace {
+
+// The live (admin-only) registry, or nullptr when the admin surface is
+// off. Counters there are thread-shard sharded, so per-query publishing
+// from many reader threads stays contention-free.
+obs::MetricsRegistry* RuntimeMetrics() {
+  obs::RuntimeRegistry& runtime = obs::RuntimeRegistry::Global();
+  return runtime.enabled() ? &runtime.metrics() : nullptr;
+}
+
+}  // namespace
 
 Result<std::shared_ptr<const Snapshot>> QueryService::AcquireChecked(
     const std::string& view, ReaderHandle* handle) const {
@@ -25,6 +38,9 @@ Result<std::optional<Row>> QueryService::PointLookup(
   if (ctx_.metrics != nullptr && ctx_.metrics->enabled()) {
     ctx_.metrics->AddCounter("serve.query.lookup");
   }
+  obs::MetricsRegistry* runtime = RuntimeMetrics();
+  obs::ScopedLatency runtime_timer(runtime, "serve.query.ms");
+  if (runtime != nullptr) runtime->AddCounter("serve.query.ops");
   GPIVOT_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> snapshot,
                           AcquireChecked(view, handle));
   std::optional<size_t> position = snapshot->index().LookupKey(key);
@@ -39,6 +55,9 @@ Result<Table> QueryService::Scan(const std::string& view,
   if (ctx_.metrics != nullptr && ctx_.metrics->enabled()) {
     ctx_.metrics->AddCounter("serve.query.scan");
   }
+  obs::MetricsRegistry* runtime = RuntimeMetrics();
+  obs::ScopedLatency runtime_timer(runtime, "serve.query.ms");
+  if (runtime != nullptr) runtime->AddCounter("serve.query.ops");
   GPIVOT_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> snapshot,
                           AcquireChecked(view, handle));
   return exec::Select(snapshot->table(), predicate, ctx_);
@@ -51,6 +70,9 @@ Result<Table> QueryService::TopK(const std::string& view,
   if (ctx_.metrics != nullptr && ctx_.metrics->enabled()) {
     ctx_.metrics->AddCounter("serve.query.topk");
   }
+  obs::MetricsRegistry* runtime = RuntimeMetrics();
+  obs::ScopedLatency runtime_timer(runtime, "serve.query.ms");
+  if (runtime != nullptr) runtime->AddCounter("serve.query.ops");
   GPIVOT_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> snapshot,
                           AcquireChecked(view, handle));
   const Table& table = snapshot->table();

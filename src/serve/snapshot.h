@@ -171,6 +171,7 @@ class SnapshotStore : public ivm::EpochCommitHook {
 
   void InstallAll(uint64_t seq);
   void FlushRetiredLocked();
+  std::string RuntimeSectionJson() const;
   std::shared_ptr<const Snapshot> AcquireSlow(const ViewSlot& slot) const;
 
   ivm::ViewManager* manager_;
@@ -192,6 +193,12 @@ class SnapshotStore : public ivm::EpochCommitHook {
   // never takes it.
   mutable std::mutex retire_mu_;
   std::vector<Retired> retired_;
+
+  // /viewz JSON-section registration with RuntimeRegistry (0 = none).
+  // Attach registers, Detach unregisters — and because providers run under
+  // the registry's section mutex, after Detach returns no admin scrape can
+  // still be walking this store.
+  int runtime_section_token_ = 0;
 };
 
 }  // namespace gpivot::serve

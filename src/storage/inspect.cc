@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/json_util.h"
 #include "storage/checkpoint.h"
 #include "storage/serialize.h"
 #include "storage/wal.h"
@@ -23,14 +24,23 @@ uint32_t FileMagic(const std::string& path) {
   return reader.GetU32().value();
 }
 
-void InspectWalFile(const std::string& path, InspectReport* report) {
+// Each helper appends human-readable lines to report->text and pushes one
+// JSON object for the file onto `files_json`; Inspect assembles the final
+// document.
+void InspectWalFile(const std::string& path, InspectReport* report,
+                    std::vector<std::string>* files_json) {
   report->text += StrCat("wal ", path, "\n");
   Result<WalContents> wal = ReadWal(path);
   if (!wal.ok()) {
     report->clean = false;
     report->text += StrCat("  UNREADABLE: ", wal.status().ToString(), "\n");
+    files_json->push_back(StrCat(
+        "{\"path\": ", obs::JsonQuote(path),
+        ", \"kind\": \"wal\", \"clean\": false, \"error\": ",
+        obs::JsonQuote(wal.status().ToString()), "}"));
     return;
   }
+  std::string entries_json;
   for (const WalEntry& entry : wal->entries) {
     std::string tables;
     std::map<std::string, const ivm::Delta*> sorted;
@@ -43,10 +53,15 @@ void InspectWalFile(const std::string& path, InspectReport* report) {
     }
     report->text += StrCat("  entry seq=", entry.seq, " tag=", entry.entry,
                            " rows=", entry.TotalRows(), tables, "\n");
+    entries_json += StrCat(entries_json.empty() ? "" : ", ",
+                           "{\"seq\": ", entry.seq,
+                           ", \"entry\": ", obs::JsonQuote(entry.entry),
+                           ", \"rows\": ", entry.TotalRows(), "}");
   }
   report->text += StrCat("  entries=", wal->entries.size(),
                          " valid_bytes=", wal->valid_bytes);
-  if (wal->torn_bytes > 0) {
+  bool torn = wal->torn_bytes > 0;
+  if (torn) {
     report->clean = false;
     report->text += StrCat(" TORN tail: ", wal->torn_bytes, " bytes (",
                            wal->tail_error, ")");
@@ -54,35 +69,64 @@ void InspectWalFile(const std::string& path, InspectReport* report) {
     report->text += " tail=clean";
   }
   report->text += "\n";
+  // valid_bytes doubles as the durable offset: everything below it
+  // replays, everything past it is torn tail the writer will discard.
+  files_json->push_back(StrCat(
+      "{\"path\": ", obs::JsonQuote(path), ", \"kind\": \"wal\", \"clean\": ",
+      torn ? "false" : "true", ", \"frames\": ", wal->entries.size(),
+      ", \"valid_bytes\": ", wal->valid_bytes,
+      ", \"durable_offset\": ", wal->valid_bytes,
+      ", \"torn_bytes\": ", wal->torn_bytes,
+      ", \"tail_error\": ", obs::JsonQuote(wal->tail_error),
+      ", \"entries\": [", entries_json, "]}"));
 }
 
-void InspectCheckpointFile(const std::string& path, InspectReport* report) {
+void InspectCheckpointFile(const std::string& path, InspectReport* report,
+                           std::vector<std::string>* files_json) {
   report->text += StrCat("checkpoint ", path, "\n");
   Result<CheckpointContents> contents = ReadCheckpoint(path);
   if (!contents.ok()) {
     report->clean = false;
     report->text +=
         StrCat("  INVALID: ", contents.status().ToString(), "\n");
+    files_json->push_back(StrCat(
+        "{\"path\": ", obs::JsonQuote(path),
+        ", \"kind\": \"checkpoint\", \"clean\": false, \"error\": ",
+        obs::JsonQuote(contents.status().ToString()), "}"));
     return;
   }
   report->text += StrCat("  epoch_seq=", contents->epoch_seq, "\n");
+  std::string tables_json;
   for (const auto& [name, table] : contents->base_tables) {
     report->text +=
         StrCat("  base ", name, ": ", table.num_rows(), " rows\n");
+    tables_json += StrCat(tables_json.empty() ? "" : ", ",
+                          "{\"table\": ", obs::JsonQuote(name),
+                          ", \"kind\": \"base\", \"rows\": ",
+                          table.num_rows(), "}");
   }
   for (const auto& [name, table] : contents->view_tables) {
     report->text +=
         StrCat("  view ", name, ": ", table->num_rows(), " rows\n");
+    tables_json += StrCat(tables_json.empty() ? "" : ", ",
+                          "{\"table\": ", obs::JsonQuote(name),
+                          ", \"kind\": \"view\", \"rows\": ",
+                          table->num_rows(), "}");
   }
+  files_json->push_back(StrCat(
+      "{\"path\": ", obs::JsonQuote(path),
+      ", \"kind\": \"checkpoint\", \"clean\": true, \"epoch_seq\": ",
+      contents->epoch_seq, ", \"tables\": [", tables_json, "]}"));
 }
 
-Status InspectFile(const std::string& path, InspectReport* report) {
+Status InspectFile(const std::string& path, InspectReport* report,
+                   std::vector<std::string>* files_json) {
   switch (FileMagic(path)) {
     case kWalFileMagic:
-      InspectWalFile(path, report);
+      InspectWalFile(path, report, files_json);
       return Status::OK();
     case kCheckpointMagic:
-      InspectCheckpointFile(path, report);
+      InspectCheckpointFile(path, report, files_json);
       return Status::OK();
     default:
       return Status::InvalidArgument(
@@ -90,10 +134,21 @@ Status InspectFile(const std::string& path, InspectReport* report) {
   }
 }
 
+void FinalizeJson(InspectReport* report,
+                  const std::vector<std::string>& files_json) {
+  report->json = StrCat("{\"clean\": ", report->clean ? "true" : "false",
+                        ", \"files\": [");
+  for (size_t i = 0; i < files_json.size(); ++i) {
+    report->json += StrCat(i == 0 ? "" : ", ", files_json[i]);
+  }
+  report->json += "]}";
+}
+
 }  // namespace
 
 Result<InspectReport> Inspect(const std::string& path) {
   InspectReport report;
+  std::vector<std::string> files_json;
   std::error_code ec;
   if (std::filesystem::is_directory(path, ec) && !ec) {
     GPIVOT_ASSIGN_OR_RETURN(std::vector<std::string> names,
@@ -105,17 +160,19 @@ Result<InspectReport> Inspect(const std::string& path) {
       // bench output, leftover .tmp files from a torn checkpoint, etc.
       uint32_t magic = FileMagic(full);
       if (magic != kWalFileMagic && magic != kCheckpointMagic) continue;
-      GPIVOT_RETURN_NOT_OK(InspectFile(full, &report));
+      GPIVOT_RETURN_NOT_OK(InspectFile(full, &report, &files_json));
       ++inspected;
     }
     report.text += StrCat("inspected ", inspected, " file(s) in ", path,
                           ": ", report.clean ? "clean" : "NOT CLEAN", "\n");
+    FinalizeJson(&report, files_json);
     return report;
   }
   if (!FileExists(path)) {
     return Status::NotFound(StrCat("'", path, "' does not exist"));
   }
-  GPIVOT_RETURN_NOT_OK(InspectFile(path, &report));
+  GPIVOT_RETURN_NOT_OK(InspectFile(path, &report, &files_json));
+  FinalizeJson(&report, files_json);
   return report;
 }
 

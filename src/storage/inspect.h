@@ -19,6 +19,17 @@ struct InspectReport {
   // bytes as failure.
   bool clean = true;
   std::string text;  // human-readable, one section per file
+  // The same findings as one machine-readable JSON document:
+  //   {"clean": bool, "files": [
+  //     {"path", "kind": "wal", "clean", "frames", "valid_bytes",
+  //      "durable_offset", "torn_bytes", "tail_error",
+  //      "entries": [{"seq", "entry", "rows"}, ...]}
+  //   | {"path", "kind": "checkpoint", "clean", "epoch_seq",
+  //      "tables": [{"table", "kind": "base"|"view", "rows"}, ...]}
+  //   | {"path", "kind", "clean": false, "error"} ]}
+  // Consumed by `walinspect --json` and by anything that wants the WAL
+  // verdict (durable offset, torn-tail diagnosis) without scraping text.
+  std::string json;
 };
 
 // `path` is a WAL file, a checkpoint file (told apart by their magic), or

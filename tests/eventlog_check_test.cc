@@ -1,0 +1,122 @@
+// Tests for the eventlog_check validator (tools/eventlog_check.*): the
+// record-kind grammar for epoch / recovery / serve lines, first-error
+// diagnostics, and the --require-committed contract the CI smoke job
+// enforces on fault-free bench runs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tools/eventlog_check.h"
+
+namespace gpivot::tools {
+namespace {
+
+TEST(EventLogCheckTest, AcceptsAWellFormedMixedLog) {
+  const std::string log =
+      "{\"seq\": 1, \"outcome\": \"committed\", \"entry\": \"epoch\"}\n"
+      "{\"seq\": 2, \"outcome\": \"no_op\", \"entry\": \"epoch\"}\n"
+      "{\"recovery\": {\"epoch_seq\": 2, \"wal_frames\": 7}}\n"
+      "{\"serve\": \"install\", \"seq\": 2, \"views\": [\"v\"]}\n"
+      "{\"serve\": \"retire\", \"view\": \"v\", \"seq\": 1}\n";
+  EventLogCheckResult result = CheckEventLog(log, /*require_committed=*/false);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.lines, 5u);
+  EXPECT_EQ(result.epoch_records, 2u);
+  EXPECT_EQ(result.committed, 1u);
+  EXPECT_EQ(result.no_ops, 1u);
+  EXPECT_EQ(result.recovery_records, 1u);
+  EXPECT_EQ(result.serve_records, 2u);
+}
+
+TEST(EventLogCheckTest, EmptyLogIsValidWithoutRequireCommitted) {
+  EXPECT_TRUE(CheckEventLog("", false).ok);
+  EXPECT_TRUE(CheckEventLog("\n\n", false).ok);  // blank lines tolerated
+  EXPECT_FALSE(CheckEventLog("", true).ok);      // but nothing committed
+}
+
+TEST(EventLogCheckTest, RejectsMalformedJsonWithLineNumber) {
+  const std::string log =
+      "{\"seq\": 1, \"outcome\": \"committed\", \"entry\": \"e\"}\n"
+      "{\"seq\": 2, \"outcome\": \n";
+  EventLogCheckResult result = CheckEventLog(log, false);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 2"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("not valid JSON"), std::string::npos);
+}
+
+TEST(EventLogCheckTest, RejectsUnknownRecordKindsAndShapes) {
+  EXPECT_FALSE(CheckEventLog("[1, 2]\n", false).ok);       // not an object
+  EXPECT_FALSE(CheckEventLog("{\"what\": 1}\n", false).ok);  // unknown kind
+  // Epoch records need a string outcome from the known set, a numeric seq,
+  // and a string entry.
+  EXPECT_FALSE(
+      CheckEventLog("{\"outcome\": \"exploded\", \"seq\": 1, "
+                    "\"entry\": \"e\"}\n",
+                    false)
+          .ok);
+  EXPECT_FALSE(
+      CheckEventLog("{\"outcome\": 7, \"seq\": 1, \"entry\": \"e\"}\n", false)
+          .ok);
+  EXPECT_FALSE(
+      CheckEventLog("{\"outcome\": \"committed\", \"entry\": \"e\"}\n", false)
+          .ok);
+  EXPECT_FALSE(CheckEventLog(
+                   "{\"outcome\": \"committed\", \"seq\": \"one\", "
+                   "\"entry\": \"e\"}\n",
+                   false)
+                   .ok);
+  EXPECT_FALSE(
+      CheckEventLog("{\"outcome\": \"committed\", \"seq\": 1}\n", false).ok);
+  // Recovery must hold an object with epoch_seq.
+  EXPECT_FALSE(CheckEventLog("{\"recovery\": 3}\n", false).ok);
+  EXPECT_FALSE(CheckEventLog("{\"recovery\": {\"frames\": 3}}\n", false).ok);
+  // Serve records: install needs seq + views array, retire view + seq.
+  EXPECT_FALSE(CheckEventLog("{\"serve\": \"upgrade\"}\n", false).ok);
+  EXPECT_FALSE(
+      CheckEventLog("{\"serve\": \"install\", \"seq\": 1}\n", false).ok);
+  EXPECT_FALSE(CheckEventLog(
+                   "{\"serve\": \"install\", \"seq\": 1, \"views\": 9}\n",
+                   false)
+                   .ok);
+  EXPECT_FALSE(
+      CheckEventLog("{\"serve\": \"retire\", \"view\": \"v\"}\n", false).ok);
+}
+
+TEST(EventLogCheckTest, ReportsOnlyTheFirstError) {
+  EventLogCheckResult result = CheckEventLog("nope\nalso nope\n", false);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 1"), std::string::npos);
+  EXPECT_EQ(result.error.find("line 2"), std::string::npos);
+  EXPECT_EQ(result.lines, 2u);  // counting continues past the failure
+}
+
+TEST(EventLogCheckTest, RequireCommittedContract) {
+  const char* committed =
+      "{\"seq\": 1, \"outcome\": \"committed\", \"entry\": \"e\"}\n";
+  EXPECT_TRUE(CheckEventLog(committed, true).ok);
+
+  // no_op alone does not satisfy the requirement.
+  const char* only_no_op =
+      "{\"seq\": 1, \"outcome\": \"no_op\", \"entry\": \"e\"}\n";
+  EventLogCheckResult result = CheckEventLog(only_no_op, true);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no committed"), std::string::npos);
+
+  // A rolled-back or rejected epoch in a supposedly fault-free run fails
+  // even when another epoch committed.
+  const std::string with_rollback = std::string(committed) +
+      "{\"seq\": 2, \"outcome\": \"rolled_back\", \"entry\": \"e\"}\n";
+  result = CheckEventLog(with_rollback, true);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("rolled back"), std::string::npos);
+
+  const std::string with_rejected = std::string(committed) +
+      "{\"seq\": 2, \"outcome\": \"rejected\", \"entry\": \"e\"}\n";
+  EXPECT_FALSE(CheckEventLog(with_rejected, true).ok);
+  // Without the flag the same logs are fine.
+  EXPECT_TRUE(CheckEventLog(with_rollback, false).ok);
+  EXPECT_TRUE(CheckEventLog(with_rejected, false).ok);
+}
+
+}  // namespace
+}  // namespace gpivot::tools

@@ -210,5 +210,148 @@ TEST(MetricsSnapshotTest, PrometheusExposition) {
   EXPECT_EQ(registry.Snapshot().counters.count("exec.join.calls"), 1u);
 }
 
+TEST(MetricsRegistryTest, GaugesSetAddAndLastWriteWins) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.SetGauge("queue.depth", 5.0);
+  registry.SetGauge("queue.depth", 3.0);  // last write wins
+  registry.AddGauge("water.level", 2.0);
+  registry.AddGauge("water.level", -0.5);
+  registry.SetGauge("view.seq", "view", "v1", 7.0);
+  registry.SetGauge("view.seq", "view", "v2", 9.0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.gauges.at("queue.depth").at({"", ""}), 3.0);
+  EXPECT_EQ(snapshot.gauges.at("water.level").at({"", ""}), 1.5);
+  EXPECT_EQ(snapshot.gauges.at("view.seq").at({"view", "v1"}), 7.0);
+  EXPECT_EQ(snapshot.gauges.at("view.seq").at({"view", "v2"}), 9.0);
+
+  registry.Reset();
+  EXPECT_TRUE(registry.Snapshot().gauges.empty());
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryIgnoresGauges) {
+  MetricsRegistry registry;
+  registry.SetGauge("g", 1.0);
+  registry.AddGauge("g", 1.0);
+  registry.SetGauge("g", "k", "v", 1.0);
+  EXPECT_TRUE(registry.Snapshot().gauges.empty());
+}
+
+TEST(MetricsSnapshotTest, GaugePrometheusExpositionAndEscaping) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.SetGauge("serve.view.staleness", "view", "v\"1\\x\ny", 2.0);
+  registry.SetGauge("ivm.batcher.pending_net_rows", 17.0);
+  std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE gpivot_serve_view_staleness gauge"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE gpivot_ivm_batcher_pending_net_rows gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpivot_ivm_batcher_pending_net_rows 17"),
+            std::string::npos);
+  // The label value's backslash, quote, and newline are escaped per the
+  // text format, keeping the sample on one line.
+  EXPECT_NE(
+      text.find(
+          "gpivot_serve_view_staleness{view=\"v\\\"1\\\\x\\ny\"} 2"),
+      std::string::npos)
+      << text;
+  // No raw newline sneaks between the label open-brace and the sample value.
+  size_t label_pos = text.find("{view=");
+  ASSERT_NE(label_pos, std::string::npos);
+  EXPECT_GT(text.find('\n', label_pos), text.find("} 2", label_pos));
+}
+
+TEST(MetricsSnapshotTest, PrometheusEscapeCoversAllSpecials) {
+  EXPECT_EQ(obs::PrometheusEscape("plain"), "plain");
+  EXPECT_EQ(obs::PrometheusEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::PrometheusEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::PrometheusEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::PrometheusEscape("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(obs::PrometheusEscape(""), "");
+}
+
+TEST(MetricsSnapshotTest, GaugesSectionOnlyRendersWhenPresent) {
+  // The determinism boundary depends on this: a registry that never set a
+  // gauge must render byte-identically to the pre-gauge format.
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.AddCounter("c", 1);
+  std::string without = registry.Snapshot().ToJson();
+  EXPECT_EQ(without.find("\"gauges\""), std::string::npos) << without;
+  EXPECT_TRUE(IsValidJson(without));
+
+  registry.SetGauge("depth", 4.0);
+  registry.SetGauge("seq", "view", "v1", 2.0);
+  std::string with = registry.Snapshot().ToJson();
+  EXPECT_NE(with.find("\"gauges\""), std::string::npos) << with;
+  EXPECT_NE(with.find("\"seq{view=v1}\""), std::string::npos) << with;
+  EXPECT_TRUE(IsValidJson(with)) << with;
+  EXPECT_NE(registry.Snapshot().ToString().find("depth 4"),
+            std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, MergeFromAddsCountersAndOverwritesGauges) {
+  MetricsSnapshot a;
+  a.counters["c"] = 3;
+  a.gauges["g"][{"", ""}] = 1.0;
+  a.histograms["h"].Record(2.0);
+  MetricsSnapshot b;
+  b.counters["c"] = 4;
+  b.counters["d"] = 1;
+  b.gauges["g"][{"", ""}] = 9.0;
+  b.histograms["h"].Record(8.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counters.at("c"), 7u);
+  EXPECT_EQ(a.counters.at("d"), 1u);
+  EXPECT_EQ(a.gauges.at("g").at({"", ""}), 9.0);  // last write wins
+  EXPECT_EQ(a.histograms.at("h").count, 2u);
+}
+
+TEST(HistogramQuantileTest, EdgeCounts) {
+  // count == 0: every quantile is 0.
+  HistogramData empty;
+  EXPECT_EQ(empty.QuantileMs(0.5), 0.0);
+  EXPECT_EQ(empty.QuantileMs(0.99), 0.0);
+
+  // count == 1: p50/p95/p99 all clamp to the single observation.
+  HistogramData one;
+  one.Record(3.0);
+  EXPECT_EQ(one.QuantileMs(0.5), 3.0);
+  EXPECT_EQ(one.QuantileMs(0.95), 3.0);
+  EXPECT_EQ(one.QuantileMs(0.99), 3.0);
+
+  // count == 2 in different buckets: p50 stays within [min, max] and p99
+  // lands in the upper sample's bucket, clamped to max.
+  HistogramData two;
+  two.Record(1.0);
+  two.Record(64.0);
+  double p50 = two.QuantileMs(0.5);
+  double p99 = two.QuantileMs(0.99);
+  EXPECT_GE(p50, two.min_ms);
+  EXPECT_LE(p50, two.max_ms);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, two.max_ms);
+
+  // Samples exactly on a bucket boundary (a power of two): the estimate
+  // must stay within the bucket that starts there, i.e. within a factor
+  // of 2, and never exceed the clamp.
+  HistogramData boundary;
+  for (int i = 0; i < 10; ++i) boundary.Record(8.0);
+  double q = boundary.QuantileMs(0.99);
+  EXPECT_EQ(q, 8.0);  // clamped to [min, max] = [8, 8]
+  EXPECT_EQ(HistogramData::BucketIndex(8.0),
+            HistogramData::BucketIndex(8.0 + 1e-9));
+  EXPECT_EQ(HistogramData::BucketIndex(8.0),
+            HistogramData::BucketIndex(15.9));
+  EXPECT_NE(HistogramData::BucketIndex(8.0),
+            HistogramData::BucketIndex(16.0));
+
+  // q outside [0, 1] clamps instead of misbehaving.
+  EXPECT_EQ(one.QuantileMs(-0.5), 3.0);
+  EXPECT_EQ(one.QuantileMs(1.5), 3.0);
+}
+
 }  // namespace
 }  // namespace gpivot

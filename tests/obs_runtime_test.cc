@@ -1,0 +1,215 @@
+// RuntimeRegistry / WindowedRates contract tests: sliding-window rate math
+// (including ring wraparound and the empty-window cases), the stuck-epoch
+// watchdog's once-per-episode counter, the epoch record ring's capacity,
+// and JSON section registration. WindowedRates takes caller-supplied
+// timestamps, so everything here is deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "obs/runtime.h"
+
+namespace gpivot {
+namespace {
+
+using obs::IsValidJson;
+using obs::MetricsSnapshot;
+using obs::RuntimeRegistry;
+using obs::StuckEpochInfo;
+using obs::WindowedRates;
+
+MetricsSnapshot SnapshotWith(uint64_t ops, uint64_t epochs) {
+  MetricsSnapshot s;
+  s.counters["serve.query.ops"] = ops;
+  s.counters["ivm.epoch.resolved"] = epochs;
+  return s;
+}
+
+TEST(WindowedRatesTest, EmptyAndSingleSampleYieldZeroRates) {
+  WindowedRates rates(4);
+  EXPECT_EQ(rates.size(), 0u);
+  EXPECT_EQ(rates.WindowSeconds(), 0.0);
+  EXPECT_EQ(rates.CounterRate("serve.query.ops"), 0.0);
+  EXPECT_EQ(rates.WindowQuantileMs("serve.query.ms", 0.99), 0.0);
+
+  rates.Push(100.0, SnapshotWith(10, 1));
+  EXPECT_EQ(rates.size(), 1u);
+  EXPECT_EQ(rates.WindowSeconds(), 0.0);
+  EXPECT_EQ(rates.CounterRate("serve.query.ops"), 0.0);
+}
+
+TEST(WindowedRatesTest, BasicCounterRate) {
+  WindowedRates rates(4);
+  rates.Push(100.0, SnapshotWith(10, 2));
+  rates.Push(110.0, SnapshotWith(60, 7));
+  EXPECT_EQ(rates.WindowSeconds(), 10.0);
+  EXPECT_DOUBLE_EQ(rates.CounterRate("serve.query.ops"), 5.0);
+  EXPECT_DOUBLE_EQ(rates.CounterRate("ivm.epoch.resolved"), 0.5);
+  // A counter absent from both ends rates as 0.
+  EXPECT_EQ(rates.CounterRate("no.such.counter"), 0.0);
+}
+
+TEST(WindowedRatesTest, CounterAppearingMidWindowCountsFromZero) {
+  WindowedRates rates(4);
+  rates.Push(0.0, MetricsSnapshot{});
+  MetricsSnapshot later;
+  later.counters["serve.query.ops"] = 20;
+  rates.Push(4.0, later);
+  EXPECT_DOUBLE_EQ(rates.CounterRate("serve.query.ops"), 5.0);
+}
+
+TEST(WindowedRatesTest, WraparoundEvictsOldestSamples) {
+  WindowedRates rates(3);
+  rates.Push(0.0, SnapshotWith(0, 0));
+  rates.Push(10.0, SnapshotWith(100, 0));
+  rates.Push(20.0, SnapshotWith(200, 0));
+  EXPECT_EQ(rates.size(), 3u);
+  // Push a 4th: the t=0 sample falls out, window becomes [10, 30].
+  rates.Push(30.0, SnapshotWith(500, 0));
+  EXPECT_EQ(rates.size(), 3u);
+  EXPECT_EQ(rates.WindowSeconds(), 20.0);
+  EXPECT_DOUBLE_EQ(rates.CounterRate("serve.query.ops"), (500.0 - 100.0) / 20.0);
+  // Keep pushing well past capacity: still exactly `capacity` retained.
+  for (int i = 0; i < 10; ++i) {
+    rates.Push(40.0 + i, SnapshotWith(500 + 10 * i, 0));
+  }
+  EXPECT_EQ(rates.size(), 3u);
+  EXPECT_EQ(rates.capacity(), 3u);
+  EXPECT_EQ(rates.WindowSeconds(), 2.0);
+}
+
+TEST(WindowedRatesTest, CounterResetYieldsZeroNotNegative) {
+  WindowedRates rates(4);
+  rates.Push(0.0, SnapshotWith(100, 0));
+  rates.Push(10.0, SnapshotWith(5, 0));  // process restarted mid-window
+  EXPECT_EQ(rates.CounterRate("serve.query.ops"), 0.0);
+}
+
+TEST(WindowedRatesTest, HistogramCountRateAndWindowQuantile) {
+  MetricsSnapshot oldest;
+  oldest.histograms["serve.query.ms"].Record(1.0);
+  oldest.histograms["serve.query.ms"].Record(1.0);
+
+  MetricsSnapshot newest = oldest;
+  // 8 more events land inside the window, all ~16ms.
+  for (int i = 0; i < 8; ++i) newest.histograms["serve.query.ms"].Record(16.0);
+
+  WindowedRates rates(4);
+  rates.Push(100.0, oldest);
+  rates.Push(104.0, newest);
+  EXPECT_DOUBLE_EQ(rates.HistogramCountRate("serve.query.ms"), 2.0);
+
+  // The two 1ms events predate the window; the window-p50 must sit in the
+  // 16ms bucket, not get dragged down toward 1ms.
+  double p50 = rates.WindowQuantileMs("serve.query.ms", 0.5);
+  EXPECT_GE(p50, 16.0);
+  EXPECT_LE(p50, 32.0);
+  EXPECT_EQ(rates.WindowQuantileMs("absent", 0.5), 0.0);
+}
+
+TEST(RuntimeRegistryTest, DisabledByDefaultAndResettable) {
+  RuntimeRegistry& runtime = RuntimeRegistry::Global();
+  runtime.ResetForTest();
+  runtime.set_enabled(false);
+  runtime.metrics().SetGauge("g", 1.0);
+  EXPECT_TRUE(runtime.metrics().Snapshot().gauges.empty());
+  runtime.set_enabled(true);
+  runtime.metrics().SetGauge("g", 1.0);
+  EXPECT_EQ(runtime.metrics().Snapshot().gauges.at("g").at({"", ""}), 1.0);
+  runtime.ResetForTest();
+  EXPECT_TRUE(runtime.metrics().Snapshot().gauges.empty());
+  runtime.set_enabled(false);
+}
+
+TEST(RuntimeRegistryTest, WatchdogFlagsStuckEpochOncePerEpisode) {
+  RuntimeRegistry& runtime = RuntimeRegistry::Global();
+  runtime.ResetForTest();
+  runtime.set_enabled(true);
+
+  // No phase active: never stuck, regardless of bound.
+  EXPECT_FALSE(runtime.CheckStuck(0.0).stuck);
+  EXPECT_FALSE(runtime.CheckStuck(-1.0).stuck);
+
+  runtime.BeginEpochPhase(7, "stage");
+  // A generous bound: not stuck yet.
+  EXPECT_FALSE(runtime.CheckStuck(60'000.0).stuck);
+  // Zero/negative bounds disable the watchdog rather than tripping it.
+  EXPECT_FALSE(runtime.CheckStuck(0.0).stuck);
+
+  // An impossibly tight positive bound: stuck, with the phase identified.
+  StuckEpochInfo info = runtime.CheckStuck(1e-9);
+  EXPECT_TRUE(info.stuck);
+  EXPECT_EQ(info.seq, 7u);
+  EXPECT_EQ(info.phase, "stage");
+  EXPECT_GE(info.elapsed_ms, 0.0);
+  // The counter increments once per episode, not once per poll.
+  EXPECT_TRUE(runtime.CheckStuck(1e-9).stuck);
+  EXPECT_TRUE(runtime.CheckStuck(1e-9).stuck);
+  EXPECT_EQ(runtime.metrics().Snapshot().counters.at("ivm.epoch.stuck"), 1u);
+
+  // Moving to the next phase re-arms the episode.
+  runtime.BeginEpochPhase(7, "commit");
+  EXPECT_TRUE(runtime.CheckStuck(1e-9).stuck);
+  EXPECT_EQ(runtime.metrics().Snapshot().counters.at("ivm.epoch.stuck"), 2u);
+
+  // EndEpoch clears the heartbeat entirely.
+  runtime.EndEpoch(7);
+  EXPECT_FALSE(runtime.CheckStuck(1e-9).stuck);
+  // A stale EndEpoch for an older seq must not clear a newer heartbeat.
+  runtime.BeginEpochPhase(9, "stage");
+  runtime.EndEpoch(7);
+  EXPECT_TRUE(runtime.CheckStuck(1e-9).stuck);
+  runtime.EndEpoch(9);
+  EXPECT_FALSE(runtime.CheckStuck(1e-9).stuck);
+
+  runtime.ResetForTest();
+  runtime.set_enabled(false);
+}
+
+TEST(RuntimeRegistryTest, EpochRingKeepsMostRecentRecords) {
+  RuntimeRegistry& runtime = RuntimeRegistry::Global();
+  runtime.ResetForTest();
+  runtime.set_enabled(true);
+  const size_t cap = RuntimeRegistry::kEpochRingCapacity;
+  for (size_t i = 0; i < cap + 10; ++i) {
+    runtime.RecordEpochJson("{\"seq\": " + std::to_string(i) + "}");
+  }
+  std::vector<std::string> ring = runtime.EpochRing();
+  ASSERT_EQ(ring.size(), cap);
+  // Oldest retained is #10, newest is #(cap + 9), in order.
+  EXPECT_EQ(ring.front(), "{\"seq\": 10}");
+  EXPECT_EQ(ring.back(), "{\"seq\": " + std::to_string(cap + 9) + "}");
+  for (const std::string& line : ring) EXPECT_TRUE(IsValidJson(line));
+  runtime.ResetForTest();
+  runtime.set_enabled(false);
+}
+
+TEST(RuntimeRegistryTest, JsonSectionsRegisterCollectUnregister) {
+  RuntimeRegistry& runtime = RuntimeRegistry::Global();
+  int token_a = runtime.RegisterJsonSection(
+      "alpha", [] { return std::string("{\"x\": 1}"); });
+  int token_b = runtime.RegisterJsonSection(
+      "beta", [] { return std::string("[1, 2]"); });
+  auto sections = runtime.CollectJsonSections();
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].first, "alpha");
+  EXPECT_EQ(sections[0].second, "{\"x\": 1}");
+  EXPECT_EQ(sections[1].first, "beta");
+  EXPECT_EQ(sections[1].second, "[1, 2]");
+
+  runtime.UnregisterJsonSection(token_a);
+  sections = runtime.CollectJsonSections();
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].first, "beta");
+  // Unregistering twice (or a bogus token) is harmless.
+  runtime.UnregisterJsonSection(token_a);
+  runtime.UnregisterJsonSection(-5);
+  runtime.UnregisterJsonSection(token_b);
+  EXPECT_TRUE(runtime.CollectJsonSections().empty());
+}
+
+}  // namespace
+}  // namespace gpivot

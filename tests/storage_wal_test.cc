@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ivm/delta.h"
+#include "obs/json_util.h"
 #include "storage/checkpoint.h"
 #include "storage/inspect.h"
 #include "storage/serialize.h"
@@ -296,6 +297,76 @@ TEST_F(WalTest, InspectReportsCleanAndDamaged) {
 
   auto missing = Inspect(dir_ + "/nope");
   EXPECT_FALSE(missing.ok());
+}
+
+TEST_F(WalTest, InspectJsonMirrorsTheTextReport) {
+  {
+    auto writer = WalWriter::Open(path_, 0);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(1, "apply_update", DeltasFor(1)).ok());
+    ASSERT_TRUE(writer->Append(2, "apply_update", DeltasFor(2)).ok());
+  }
+  ASSERT_TRUE(
+      WriteCheckpoint(dir_ + "/" + CheckpointFileName(2), FixtureCheckpoint(2))
+          .ok());
+
+  auto clean = Inspect(dir_);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_TRUE(obs::IsValidJson(clean->json)) << clean->json;
+  auto parsed = obs::ParseJson(clean->json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->Find("clean")->bool_value);
+  const obs::JsonValue* files = parsed->Find("files");
+  ASSERT_TRUE(files != nullptr && files->is_array());
+  ASSERT_EQ(files->array.size(), 2u);  // one checkpoint + one WAL
+
+  const obs::JsonValue* wal_file = nullptr;
+  const obs::JsonValue* checkpoint_file = nullptr;
+  for (const obs::JsonValue& file : files->array) {
+    const std::string& kind = file.Find("kind")->string_value;
+    if (kind == "wal") wal_file = &file;
+    if (kind == "checkpoint") checkpoint_file = &file;
+  }
+  ASSERT_NE(wal_file, nullptr) << clean->json;
+  EXPECT_TRUE(wal_file->Find("clean")->bool_value);
+  EXPECT_EQ(wal_file->Find("frames")->number_value, 2.0);
+  EXPECT_EQ(wal_file->Find("torn_bytes")->number_value, 0.0);
+  // A clean WAL's durable offset is exactly its valid byte count.
+  EXPECT_EQ(wal_file->Find("durable_offset")->number_value,
+            wal_file->Find("valid_bytes")->number_value);
+  const obs::JsonValue* entries = wal_file->Find("entries");
+  ASSERT_TRUE(entries != nullptr && entries->is_array());
+  ASSERT_EQ(entries->array.size(), 2u);
+  EXPECT_EQ(entries->array[0].Find("seq")->number_value, 1.0);
+  EXPECT_EQ(entries->array[0].Find("entry")->string_value, "apply_update");
+  EXPECT_EQ(entries->array[1].Find("rows")->number_value, 1.0);
+  ASSERT_NE(checkpoint_file, nullptr) << clean->json;
+  EXPECT_EQ(checkpoint_file->Find("epoch_seq")->number_value, 2.0);
+  ASSERT_TRUE(checkpoint_file->Find("tables")->is_array());
+
+  // Tear the tail: the JSON flips to unclean with the torn diagnosis.
+  auto bytes = ReadFileToString(path_);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      AtomicWriteFile(path_,
+                      std::string_view(*bytes).substr(0, bytes->size() - 3))
+          .ok());
+  auto damaged = Inspect(path_);  // single-file form carries JSON too
+  ASSERT_TRUE(damaged.ok());
+  ASSERT_TRUE(obs::IsValidJson(damaged->json)) << damaged->json;
+  auto damaged_parsed = obs::ParseJson(damaged->json);
+  ASSERT_TRUE(damaged_parsed.has_value());
+  EXPECT_FALSE(damaged_parsed->Find("clean")->bool_value);
+  const obs::JsonValue& torn_wal = damaged_parsed->Find("files")->array[0];
+  EXPECT_FALSE(torn_wal.Find("clean")->bool_value);
+  EXPECT_EQ(torn_wal.Find("frames")->number_value, 1.0);
+  EXPECT_GT(torn_wal.Find("torn_bytes")->number_value, 0.0);
+  EXPECT_FALSE(torn_wal.Find("tail_error")->string_value.empty());
+  // The surviving frame is still enumerated; the durable offset stops
+  // before the torn bytes.
+  EXPECT_EQ(torn_wal.Find("entries")->array.size(), 1u);
+  EXPECT_EQ(torn_wal.Find("durable_offset")->number_value,
+            torn_wal.Find("valid_bytes")->number_value);
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+#include "tools/eventlog_check.h"
+
+#include <optional>
+
+#include "obs/json_util.h"
+#include "util/string_util.h"
+
+namespace gpivot::tools {
+
+namespace {
+
+// Sets the failure on the first bad line only: one clear diagnosis beats a
+// flood of knock-on errors from the same malformed file.
+void Fail(EventLogCheckResult* result, uint64_t line_no,
+          const std::string& why) {
+  if (!result->ok) return;
+  result->ok = false;
+  result->error = StrCat("line ", line_no, ": ", why);
+}
+
+void CheckLine(std::string_view line, uint64_t line_no,
+               EventLogCheckResult* result) {
+  std::string parse_error;
+  std::optional<obs::JsonValue> parsed =
+      obs::ParseJson(line, &parse_error);
+  if (!parsed.has_value()) {
+    Fail(result, line_no, StrCat("not valid JSON (", parse_error, ")"));
+    return;
+  }
+  if (!parsed->is_object()) {
+    Fail(result, line_no, "record is not a JSON object");
+    return;
+  }
+
+  if (const obs::JsonValue* recovery = parsed->Find("recovery");
+      recovery != nullptr) {
+    ++result->recovery_records;
+    if (!recovery->is_object() || recovery->Find("epoch_seq") == nullptr) {
+      Fail(result, line_no,
+           "recovery record must hold an object with \"epoch_seq\"");
+    }
+    return;
+  }
+
+  if (const obs::JsonValue* serve = parsed->Find("serve"); serve != nullptr) {
+    ++result->serve_records;
+    if (!serve->is_string()) {
+      Fail(result, line_no, "\"serve\" must be a string");
+      return;
+    }
+    if (serve->string_value == "install") {
+      const obs::JsonValue* views = parsed->Find("views");
+      if (parsed->Find("seq") == nullptr || views == nullptr ||
+          !views->is_array()) {
+        Fail(result, line_no,
+             "serve install record needs \"seq\" and a \"views\" array");
+      }
+    } else if (serve->string_value == "retire") {
+      if (parsed->Find("view") == nullptr || parsed->Find("seq") == nullptr) {
+        Fail(result, line_no,
+             "serve retire record needs \"view\" and \"seq\"");
+      }
+    } else {
+      Fail(result, line_no,
+           StrCat("unknown serve record kind '", serve->string_value, "'"));
+    }
+    return;
+  }
+
+  const obs::JsonValue* outcome = parsed->Find("outcome");
+  if (outcome == nullptr) {
+    Fail(result, line_no,
+         "unknown record kind (no \"outcome\", \"recovery\", or \"serve\")");
+    return;
+  }
+  ++result->epoch_records;
+  if (!outcome->is_string()) {
+    Fail(result, line_no, "\"outcome\" must be a string");
+    return;
+  }
+  const std::string& value = outcome->string_value;
+  if (value == "committed") {
+    ++result->committed;
+  } else if (value == "no_op") {
+    ++result->no_ops;
+  } else if (value != "rolled_back" && value != "rejected") {
+    Fail(result, line_no, StrCat("unknown outcome '", value, "'"));
+    return;
+  }
+  const obs::JsonValue* seq = parsed->Find("seq");
+  if (seq == nullptr || !seq->is_number()) {
+    Fail(result, line_no, "epoch record needs a numeric \"seq\"");
+    return;
+  }
+  const obs::JsonValue* entry = parsed->Find("entry");
+  if (entry == nullptr || !entry->is_string()) {
+    Fail(result, line_no, "epoch record needs a string \"entry\"");
+  }
+}
+
+}  // namespace
+
+EventLogCheckResult CheckEventLog(std::string_view contents,
+                                  bool require_committed) {
+  EventLogCheckResult result;
+  size_t start = 0;
+  uint64_t line_no = 0;
+  while (start < contents.size()) {
+    size_t end = contents.find('\n', start);
+    if (end == std::string_view::npos) end = contents.size();
+    std::string_view line = contents.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;  // tolerate a trailing newline only
+    ++result.lines;
+    CheckLine(line, line_no, &result);
+  }
+  if (result.ok && require_committed) {
+    uint64_t failed =
+        result.epoch_records - result.committed - result.no_ops;
+    if (result.committed == 0) {
+      result.ok = false;
+      result.error = "no committed epoch record found";
+    } else if (failed > 0) {
+      result.ok = false;
+      result.error = StrCat(failed,
+                            " epoch record(s) rolled back or were rejected");
+    }
+  }
+  return result;
+}
+
+}  // namespace gpivot::tools

@@ -1,0 +1,73 @@
+// eventlog_check: validates a GPIVOT epoch event log (JSONL).
+//
+//   eventlog_check [--require-committed] <events.jsonl>...
+//
+// Every line must be one strict JSON object of a known record kind —
+// epoch record (with outcome/seq/entry), recovery summary, or serve
+// install/retire (see tools/eventlog_check.h). With --require-committed,
+// each file must additionally contain at least one committed epoch and no
+// rolled-back/rejected ones — the contract for fault-free smoke runs.
+//
+// Exit codes follow bench_diff: 0 = all files valid, 1 = a validation
+// failure, 2 = usage error or unreadable file.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/eventlog_check.h"
+#include "util/file_io.h"
+
+int main(int argc, char** argv) {
+  bool require_committed = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--require-committed") {
+      require_committed = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: eventlog_check [--require-committed] "
+                   "<events.jsonl>...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "eventlog_check: unknown option '%s'\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: eventlog_check [--require-committed] "
+                 "<events.jsonl>...\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (const std::string& path : paths) {
+    gpivot::Result<std::string> contents = gpivot::ReadFileToString(path);
+    if (!contents.ok()) {
+      std::fprintf(stderr, "eventlog_check: %s\n",
+                   contents.status().ToString().c_str());
+      return 2;
+    }
+    gpivot::tools::EventLogCheckResult result =
+        gpivot::tools::CheckEventLog(*contents, require_committed);
+    std::printf(
+        "%s: %llu record(s): %llu epoch (%llu committed, %llu no-op), "
+        "%llu recovery, %llu serve\n",
+        path.c_str(), static_cast<unsigned long long>(result.lines),
+        static_cast<unsigned long long>(result.epoch_records),
+        static_cast<unsigned long long>(result.committed),
+        static_cast<unsigned long long>(result.no_ops),
+        static_cast<unsigned long long>(result.recovery_records),
+        static_cast<unsigned long long>(result.serve_records));
+    if (!result.ok) {
+      std::fprintf(stderr, "eventlog_check: %s: %s\n", path.c_str(),
+                   result.error.c_str());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}

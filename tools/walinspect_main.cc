@@ -1,18 +1,22 @@
 // walinspect: offline dump and verification of durability artifacts.
 //
-//   walinspect [--verify] <path>...
+//   walinspect [--verify] [--json] <path>...
 //
 // Each operand is a WAL file, a checkpoint file, or a storage directory
 // containing them (other files inside a directory are skipped). The dump
 // lists every WAL entry (seq, entry tag, per-table delta cardinalities)
-// and every checkpoint's tables with row counts.
+// and every checkpoint's tables with row counts. With --json the dump is
+// one machine-readable JSON document instead:
+//   {"clean": bool, "reports": [<one object per operand, see
+//   storage/inspect.h>]}
 //
 // Without --verify the exit code only reflects usability of the operands
 // (2 = missing path / not a recognized file). With --verify, exit 1 when
 // any inspected file is corrupt or a WAL carries a torn tail — artifacts
 // of a *cleanly finished* run must verify clean; a torn tail is evidence
 // of an unrepaired crash. CI runs `walinspect --verify` over the storage
-// directories the smoke benchmarks leave behind.
+// directories the smoke benchmarks leave behind, and `--verify --json`
+// where a script consumes the verdict.
 
 #include <cstdio>
 #include <string>
@@ -22,13 +26,16 @@
 
 int main(int argc, char** argv) {
   bool verify = false;
+  bool json = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr, "usage: walinspect [--verify] <path>...\n");
+      std::fprintf(stderr, "usage: walinspect [--verify] [--json] <path>...\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "walinspect: unknown option '%s'\n", arg.c_str());
@@ -38,10 +45,11 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: walinspect [--verify] <path>...\n");
+    std::fprintf(stderr, "usage: walinspect [--verify] [--json] <path>...\n");
     return 2;
   }
   bool all_clean = true;
+  std::string reports_json;
   for (const std::string& path : paths) {
     gpivot::Result<gpivot::storage::InspectReport> report =
         gpivot::storage::Inspect(path);
@@ -50,8 +58,17 @@ int main(int argc, char** argv) {
                    report.status().ToString().c_str());
       return 2;
     }
-    std::fputs(report->text.c_str(), stdout);
+    if (json) {
+      if (!reports_json.empty()) reports_json += ", ";
+      reports_json += report->json;
+    } else {
+      std::fputs(report->text.c_str(), stdout);
+    }
     all_clean = all_clean && report->clean;
+  }
+  if (json) {
+    std::printf("{\"clean\": %s, \"reports\": [%s]}\n",
+                all_clean ? "true" : "false", reports_json.c_str());
   }
   if (verify && !all_clean) {
     std::fprintf(stderr, "walinspect: verification FAILED\n");
