@@ -1,0 +1,221 @@
+// Skewed-churn figure (no paper counterpart): hot-key churn batches drawn
+// from a Zipf(theta) popularity distribution over lineitem rows, ingested
+// through the DeltaBatcher and flushed as one epoch, under two maintenance
+// configurations:
+//
+//   uniform_chunking    — one shard, heavy/light classifier off: the
+//                         pre-sharding commit path with blind row chunking.
+//   heavy_light_sharded — GPIVOT_SHARDS-way sharded stage/commit (default
+//                         4) with the frequency-based heavy-key classifier
+//                         on (GPIVOT_HEAVY_KEY_THRESHOLD, default 4).
+//
+// Each configuration runs against both a uniform workload (theta = 0) and
+// a skewed one (theta = GPIVOT_BENCH_ZIPF_THETA, default 1.0). The point
+// of the figure: under skew a handful of hot keys dominate the delta, so
+// weight-aware shard assignment plus per-key accumulators beat uniform
+// chunking, while at theta = 0 the two configurations should be within
+// noise of each other. The JSON records carry theta in delta_fraction and
+// the configuration knobs in `extra`, and both configurations' refreshed
+// views are verified identical under GPIVOT_BENCH_VERIFY=1.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ivm/batcher.h"
+#include "ivm/view_manager.h"
+#include "obs/metrics.h"
+#include "tpch/views.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gpivot::bench {
+namespace {
+
+constexpr const char* kFigure = "SkewHeavyLight";
+// Churn volume: 24 batches, each touching 2% of lineitem. Small enough for
+// the CI smoke loop, deep enough that hot keys repeat many times within
+// one pending window at theta = 1 — repeated touches are what the
+// classifier converts into O(1) in-place folds, while the uniform bag
+// appends a dead entry pair per superseded version.
+constexpr size_t kNumBatches = 24;
+constexpr double kBatchFraction = 0.02;
+
+struct SkewConfig {
+  const char* name;
+  size_t num_shards;
+  size_t heavy_key_threshold;
+};
+
+double ZipfTheta() {
+  // Default 1.5: a hot-head regime where a handful of keys dominate the
+  // churn — the workload the heavy/light classifier exists for. The
+  // theta = 0 control always runs alongside, so the figure shows the
+  // classifier's uniform-workload overhead next to its skewed-workload win.
+  static const double kTheta =
+      BenchEnvDouble("GPIVOT_BENCH_ZIPF_THETA", 1.5);
+  return kTheta;
+}
+
+std::vector<SkewConfig> Configs() {
+  // The sharded configuration honors the env knobs when set (a smoke run
+  // can sweep them) and falls back to 4-way / threshold-4 otherwise.
+  size_t shards = static_cast<size_t>(BenchEnvUint64("GPIVOT_SHARDS", 0));
+  size_t threshold =
+      static_cast<size_t>(BenchEnvUint64("GPIVOT_HEAVY_KEY_THRESHOLD", 0));
+  if (shards <= 1) shards = 4;
+  if (threshold == 0) threshold = 4;
+  return {{"uniform_chunking", 1, 0},
+          {"heavy_light_sharded", shards, threshold}};
+}
+
+void RunSkew(benchmark::State& state, const SkewConfig& config, double theta) {
+  const BenchContext& context = SharedContext();
+  const ExecContext exec = BenchExecContext();
+  const bool verify = std::getenv("GPIVOT_BENCH_VERIFY") != nullptr;
+  const bool audit = std::getenv("GPIVOT_BENCH_AUDIT") != nullptr;
+  const size_t reps = BenchReps();
+  size_t view_rows = 0;
+  size_t delta_rows = 0;
+  uint64_t heavy_classified = 0;
+  uint64_t heavy_spills = 0;
+  uint64_t net_rows_flushed = 0;
+  std::vector<double> rep_ms;
+  std::string metrics_json;
+  std::string cost_json;
+  std::string cost_text;
+  std::string prom_text;
+  for (auto _ : state) {
+    rep_ms.clear();
+    for (size_t rep = 0; rep < reps; ++rep) {
+      tpch::Data copy = context.data;
+      auto catalog = tpch::MakeCatalog(std::move(copy));
+      GPIVOT_CHECK(catalog.ok()) << catalog.status().ToString();
+      auto query = tpch::View1(*catalog, context.config.max_line_numbers);
+      GPIVOT_CHECK(query.ok()) << query.status().ToString();
+      ivm::ViewManager manager(std::move(*catalog));
+      manager.set_exec_context(exec);
+      ivm::ShardingOptions sharding;
+      sharding.num_shards = config.num_shards;
+      manager.set_sharding(sharding);
+      Status defined =
+          manager.DefineView("v", *query, ivm::RefreshStrategy::kUpdate);
+      GPIVOT_CHECK(defined.ok()) << defined.ToString();
+      size_t rows_per_batch = static_cast<size_t>(
+          kBatchFraction *
+          static_cast<double>(
+              (*manager.catalog().GetTable("lineitem"))->num_rows()));
+      auto batches = tpch::MakeLineitemZipfChurn(
+          manager.catalog(), kNumBatches, rows_per_batch, theta, 0xBEEF);
+      GPIVOT_CHECK(batches.ok()) << batches.status().ToString();
+      delta_rows = 0;
+      for (const ivm::SourceDeltas& batch : *batches) {
+        for (const auto& [name, delta] : batch) {
+          delta_rows += delta.inserts.num_rows() + delta.deletes.num_rows();
+        }
+      }
+      if (exec.metrics != nullptr) exec.metrics->Reset();
+
+      // Timed: the whole ingest pipeline — kNumBatches folds through the
+      // heavy/light classifier plus the single sharded flush epoch.
+      ivm::BatcherOptions options;
+      options.heavy_key_threshold = config.heavy_key_threshold;
+      auto wall_begin = std::chrono::steady_clock::now();
+      ivm::DeltaBatcher batcher(&manager, options);
+      for (const ivm::SourceDeltas& batch : *batches) {
+        Status st = batcher.Ingest(batch);
+        GPIVOT_CHECK(st.ok()) << st.ToString();
+      }
+      Status st = batcher.Flush();
+      GPIVOT_CHECK(st.ok()) << st.ToString();
+      auto wall_end = std::chrono::steady_clock::now();
+
+      rep_ms.push_back(
+          std::chrono::duration<double, std::milli>(wall_end - wall_begin)
+              .count());
+      heavy_classified = batcher.stats().heavy_keys_classified;
+      heavy_spills = batcher.stats().heavy_spills;
+      net_rows_flushed = batcher.stats().net_rows_flushed;
+      if (exec.metrics != nullptr && exec.metrics->enabled()) {
+        obs::MetricsSnapshot snapshot = exec.metrics->Snapshot();
+        metrics_json = snapshot.ToJson(5);
+        prom_text = snapshot.ToPrometheusText();
+        auto cost = manager.ExplainAnalyze("v");
+        if (cost.ok()) {
+          cost_json = cost->ToJsonLine();
+          cost_text = cost->ToText();
+        }
+      }
+      view_rows = manager.GetView("v").value()->num_rows();
+      if (verify) {
+        auto recomputed = manager.RecomputeFromScratch("v");
+        GPIVOT_CHECK(recomputed.ok()) << recomputed.status().ToString();
+        GPIVOT_CHECK(
+            recomputed->BagEquals(manager.GetView("v").value()->table()))
+            << "verification failed for " << config.name;
+      }
+      if (audit) {
+        Status audited = manager.Audit();
+        GPIVOT_CHECK(audited.ok()) << audited.ToString();
+      }
+    }
+    std::sort(rep_ms.begin(), rep_ms.end());
+    state.SetIterationTime(rep_ms.front() / 1000.0);
+  }
+  double median = rep_ms[rep_ms.size() / 2];
+  if (rep_ms.size() % 2 == 0) {
+    median = (median + rep_ms[rep_ms.size() / 2 - 1]) / 2.0;
+  }
+  state.counters["view_rows"] = static_cast<double>(view_rows);
+  state.counters["delta_rows"] = static_cast<double>(delta_rows);
+  state.counters["heavy_keys"] = static_cast<double>(heavy_classified);
+  char theta_str[32];
+  std::snprintf(theta_str, sizeof(theta_str), "%.4f", theta);
+  std::string extra = StrCat(
+      "\"theta\": ", theta_str, ", ",
+      "\"config_shards\": ", config.num_shards, ", ",
+      "\"heavy_key_threshold\": ", config.heavy_key_threshold, ", ",
+      "\"heavy_keys_classified\": ", heavy_classified, ", ",
+      "\"heavy_spills\": ", heavy_spills, ", ",
+      "\"net_rows_flushed\": ", net_rows_flushed);
+  AddFigureRecord(kFigure,
+                  FigureRecord{config.name, theta, rep_ms.front(), median,
+                               reps, view_rows, delta_rows,
+                               std::move(metrics_json), std::move(cost_json),
+                               std::move(cost_text), std::move(prom_text),
+                               std::move(extra)});
+}
+
+void RegisterSkew() {
+  ValidateBenchEnvOnce();
+  std::vector<double> thetas = {0.0};
+  if (ZipfTheta() > 0.0) thetas.push_back(ZipfTheta());
+  for (double theta : thetas) {
+    for (const SkewConfig& config : Configs()) {
+      std::string name = StrCat(kFigure, "/", config.name, "/theta:",
+                                static_cast<int>(theta * 100));
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [config, theta](benchmark::State& state) {
+            RunSkew(state, config, theta);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->UseManualTime()
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpivot::bench
+
+int main(int argc, char** argv) {
+  gpivot::bench::RegisterSkew();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

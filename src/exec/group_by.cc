@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "exec/partition.h"
 #include "exec/vector_ops.h"
 #include "obs/cost.h"
 #include "obs/metrics.h"
@@ -61,6 +62,21 @@ Result<Table> GroupByImpl(const Table& input,
                                ? std::min(ctx.num_threads, num_rows)
                                : 1;
 
+  // Skew-aware partition ownership: rows map to kPartitionFanout fixed hash
+  // buckets and buckets map to partitions by observed row weight, so a hot
+  // group key (one bucket) lands alone on a partition instead of dragging
+  // every hash % num_parts sibling with it. Group membership still follows
+  // the hash, groups stay whole within one partition, and the first_row
+  // merge below emits in global order — output bytes are unchanged from the
+  // blind modulo assignment at every partition count.
+  auto assign_partitions = [&](const std::vector<size_t>& row_hashes) {
+    std::vector<uint64_t> weights(kPartitionFanout, 0);
+    for (size_t r = 0; r < num_rows; ++r) {
+      ++weights[row_hashes[r] % kPartitionFanout];
+    }
+    return AssignBucketsByWeight(weights, num_parts);
+  };
+
   // Vectorized fast path: typed group-key columns, batch hashing, and
   // hash -> group-id buckets instead of Row-keyed map nodes. Partition
   // ownership (hash % num_parts), per-partition accumulation in global row
@@ -92,12 +108,17 @@ Result<Table> GroupByImpl(const Table& input,
       std::unordered_map<size_t, SmallVector<uint32_t, 2>> buckets;
       std::vector<VGroup> groups;  // creation order == first_row ascending
     };
+    const std::vector<uint32_t> part_of =
+        num_parts > 1 ? assign_partitions(row_hashes) : std::vector<uint32_t>();
     std::vector<VPartition> partitions(num_parts);
     ParallelFor(ExecContext{num_parts, 0}, num_parts, [&](size_t p) {
       VPartition& part = partitions[p];
       part.buckets.reserve(num_rows / num_parts + 1);
       for (size_t r = 0; r < num_rows; ++r) {
-        if (num_parts > 1 && row_hashes[r] % num_parts != p) continue;
+        if (num_parts > 1 &&
+            part_of[row_hashes[r] % kPartitionFanout] != p) {
+          continue;
+        }
         SmallVector<uint32_t, 2>& ids = part.buckets[row_hashes[r]];
         VGroup* group = nullptr;
         for (uint32_t gid : ids) {
@@ -172,12 +193,16 @@ Result<Table> GroupByImpl(const Table& input,
                       });
   }
 
+  const std::vector<uint32_t> part_of =
+      num_parts > 1 ? assign_partitions(hashes) : std::vector<uint32_t>();
   std::vector<Partition> partitions(num_parts);
   ParallelFor(ExecContext{num_parts, 0}, num_parts, [&](size_t p) {
     Partition& part = partitions[p];
     part.groups.reserve(num_rows / num_parts + 1);
     for (size_t r = 0; r < num_rows; ++r) {
-      if (num_parts > 1 && hashes[r] % num_parts != p) continue;
+      if (num_parts > 1 && part_of[hashes[r] % kPartitionFanout] != p) {
+        continue;
+      }
       Row key = num_parts > 1 ? std::move(keys[r])
                               : ProjectRow(input.rows()[r], group_idx);
       auto it = part.groups.find(key);
@@ -221,7 +246,9 @@ Result<Table> GroupByImpl(const Table& input,
   result.mutable_rows().reserve(total_groups);
   for (const auto& [first_row, key] : merged) {
     const GroupState& state =
-        partitions[num_parts > 1 ? hashes[first_row] % num_parts : 0]
+        partitions[num_parts > 1
+                       ? part_of[hashes[first_row] % kPartitionFanout]
+                       : 0]
             .groups.at(*key);
     Row out = *key;
     for (const Accumulator& acc : state.accumulators) {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/partition.h"
 #include "exec/vector_ops.h"
 #include "obs/cost.h"
 #include "obs/metrics.h"
@@ -143,36 +144,62 @@ Result<Table> HashJoinImpl(const Table& left, const Table& right,
         buckets[build_keys->Hash(i)].push_back(static_cast<uint32_t>(i));
       }
       const size_t num_probe = probe_table.num_rows();
-      std::vector<std::vector<Row>> chunk_rows(NumChunks(ctx, num_probe));
-      ParallelForChunks(
-          ctx, num_probe, [&](size_t chunk, size_t begin, size_t end) {
-            std::vector<Row>& out_rows = chunk_rows[chunk];
-            // Scratch sized to the smaller of chunk width and stripe: the
-            // env knob allows arbitrarily large widths.
-            const size_t scratch = std::min(chunk_size, end - begin);
-            std::vector<size_t> hashes(scratch);
-            std::vector<uint8_t> nulls(scratch);
-            for (size_t cb = begin; cb < end; cb += chunk_size) {
-              const size_t ce = std::min(end, cb + chunk_size);
-              probe_keys->BatchHash(cb, ce, hashes.data());
-              probe_keys->BatchHasNull(cb, ce, nulls.data());
-              for (size_t r = cb; r < ce; ++r) {
-                if (nulls[r - cb]) continue;
-                auto it = buckets.find(hashes[r - cb]);
-                if (it == buckets.end()) continue;
-                for (uint32_t bi : it->second) {
-                  if (!probe_keys->RowsEqual(r, *build_keys, bi)) continue;
-                  const Row& lrow = build_left ? build_table.RowAt(bi)
-                                               : probe_table.RowAt(r);
-                  const Row& rrow = build_left ? probe_table.RowAt(r)
-                                               : build_table.RowAt(bi);
-                  Row out = combined_row_of(lrow, rrow);
-                  if (residual && !ValueIsTrue(residual(out))) continue;
-                  out_rows.push_back(std::move(out));
-                }
-              }
-            }
-          });
+      // Hash and null-test the whole probe side up front (in row chunks):
+      // the hashes drive both the bucket lookups and the skew-aware chunk
+      // boundaries below.
+      std::vector<size_t> probe_hashes(num_probe);
+      std::vector<uint8_t> probe_nulls(num_probe);
+      ParallelForChunks(ctx, num_probe,
+                        [&](size_t /*chunk*/, size_t begin, size_t end) {
+                          for (size_t cb = begin; cb < end; cb += chunk_size) {
+                            const size_t ce = std::min(end, cb + chunk_size);
+                            probe_keys->BatchHash(cb, ce,
+                                                  probe_hashes.data() + cb);
+                            probe_keys->BatchHasNull(cb, ce,
+                                                     probe_nulls.data() + cb);
+                          }
+                        });
+      // Skew-aware probe split: chunk boundaries equalize estimated probe
+      // cost (1 + candidate build matches per row) instead of raw row
+      // counts, so a hot key whose bucket holds most of the build side no
+      // longer serializes one chunk. Chunks stay contiguous and ascending,
+      // so ConcatChunks still reproduces sequential row order exactly —
+      // output bytes are invariant to where the boundaries land.
+      const size_t chunks = NumChunks(ctx, num_probe);
+      std::vector<size_t> bounds;
+      if (chunks > 1) {
+        std::vector<uint64_t> cumulative(num_probe + 1, 0);
+        for (size_t r = 0; r < num_probe; ++r) {
+          uint64_t cost = 1;
+          if (!probe_nulls[r]) {
+            auto it = buckets.find(probe_hashes[r]);
+            if (it != buckets.end()) cost += it->second.size();
+          }
+          cumulative[r + 1] = cumulative[r] + cost;
+        }
+        bounds = WeightedChunkBoundaries(cumulative, chunks);
+      } else {
+        bounds = {0, num_probe};
+      }
+      std::vector<std::vector<Row>> chunk_rows(chunks);
+      ParallelFor(ExecContext{chunks, 0}, chunks, [&](size_t chunk) {
+        std::vector<Row>& out_rows = chunk_rows[chunk];
+        for (size_t r = bounds[chunk]; r < bounds[chunk + 1]; ++r) {
+          if (probe_nulls[r]) continue;
+          auto it = buckets.find(probe_hashes[r]);
+          if (it == buckets.end()) continue;
+          for (uint32_t bi : it->second) {
+            if (!probe_keys->RowsEqual(r, *build_keys, bi)) continue;
+            const Row& lrow = build_left ? build_table.RowAt(bi)
+                                         : probe_table.RowAt(r);
+            const Row& rrow = build_left ? probe_table.RowAt(r)
+                                         : build_table.RowAt(bi);
+            Row out = combined_row_of(lrow, rrow);
+            if (residual && !ValueIsTrue(residual(out))) continue;
+            out_rows.push_back(std::move(out));
+          }
+        }
+      });
       return ConcatChunks(output_schema, std::move(chunk_rows));
     }
   }

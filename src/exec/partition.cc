@@ -1,0 +1,60 @@
+#include "exec/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace gpivot::exec {
+
+std::vector<uint32_t> AssignBucketsByWeight(
+    const std::vector<uint64_t>& bucket_weights, size_t num_parts) {
+  GPIVOT_CHECK(num_parts >= 1) << "AssignBucketsByWeight needs a partition";
+  std::vector<uint32_t> part_of(bucket_weights.size(), 0);
+  if (num_parts == 1) return part_of;
+
+  std::vector<size_t> order(bucket_weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (bucket_weights[a] != bucket_weights[b]) {
+      return bucket_weights[a] > bucket_weights[b];
+    }
+    return a < b;
+  });
+
+  std::vector<uint64_t> load(num_parts, 0);
+  for (size_t bucket : order) {
+    size_t lightest = 0;
+    for (size_t p = 1; p < num_parts; ++p) {
+      if (load[p] < load[lightest]) lightest = p;
+    }
+    part_of[bucket] = static_cast<uint32_t>(lightest);
+    load[lightest] += bucket_weights[bucket];
+  }
+  return part_of;
+}
+
+std::vector<size_t> WeightedChunkBoundaries(
+    const std::vector<uint64_t>& cumulative, size_t chunks) {
+  GPIVOT_CHECK(chunks >= 1) << "WeightedChunkBoundaries needs a chunk";
+  GPIVOT_CHECK(!cumulative.empty()) << "cumulative prefix missing its zero";
+  const size_t n = cumulative.size() - 1;
+  const uint64_t total = cumulative[n];
+  std::vector<size_t> boundaries(chunks + 1, 0);
+  boundaries[chunks] = n;
+  for (size_t c = 1; c < chunks; ++c) {
+    // First index whose prefix reaches c/chunks of the total cost, clamped
+    // monotone against the previous boundary. With an all-zero prefix every
+    // interior cut degenerates to 0 — a valid (empty-chunk) split.
+    const uint64_t target =
+        static_cast<uint64_t>((static_cast<__uint128_t>(total) * c) / chunks);
+    auto it = std::lower_bound(cumulative.begin(), cumulative.begin() + n + 1,
+                               target);
+    boundaries[c] = std::max(static_cast<size_t>(it - cumulative.begin()),
+                             boundaries[c - 1]);
+    boundaries[c] = std::min(boundaries[c], n);
+  }
+  return boundaries;
+}
+
+}  // namespace gpivot::exec

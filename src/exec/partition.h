@@ -1,0 +1,41 @@
+#ifndef GPIVOT_EXEC_PARTITION_H_
+#define GPIVOT_EXEC_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gpivot::exec {
+
+// Fixed logical-bucket fanout for skew-aware partition assignment. Rows map
+// to buckets with hash % kPartitionFanout — a pure function of the data,
+// independent of the partition count — and buckets map to partitions by
+// observed weight, so one hot key can no longer pin an entire blind
+// hash % num_parts partition while its siblings idle. 64 buckets give the
+// balancer room at every partition count this codebase uses (threads and
+// shards are single-digit to low-double-digit).
+inline constexpr size_t kPartitionFanout = 64;
+
+// Greedy longest-processing-time assignment of weighted buckets to
+// `num_parts` partitions: buckets in (weight desc, index asc) order each go
+// to the currently lightest partition (ties broken toward the lowest
+// partition index). Returns part_of[bucket] in [0, num_parts). Deterministic:
+// the result is a pure function of (weights, num_parts), never of thread
+// scheduling. num_parts must be >= 1.
+std::vector<uint32_t> AssignBucketsByWeight(
+    const std::vector<uint64_t>& bucket_weights, size_t num_parts);
+
+// Splits [0, n) into `chunks` contiguous ranges of near-equal *cost* given
+// each row's cumulative cost prefix (cumulative[0] = 0, cumulative[n] =
+// total; non-decreasing). Returns chunks + 1 boundaries with boundaries[0]
+// = 0 and boundaries[chunks] = n, non-decreasing, where boundary c is the
+// first row whose prefix cost reaches c/chunks of the total. Contiguity is
+// what keeps concatenation order-preserving: per-chunk outputs appended in
+// chunk order reproduce the sequential row order no matter where the
+// boundaries land.
+std::vector<size_t> WeightedChunkBoundaries(
+    const std::vector<uint64_t>& cumulative, size_t chunks);
+
+}  // namespace gpivot::exec
+
+#endif  // GPIVOT_EXEC_PARTITION_H_

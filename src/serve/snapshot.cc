@@ -64,7 +64,7 @@ Status SnapshotStore::Attach() {
   for (const std::string& name : names) {
     slots_[name];  // default-construct the slot in place
   }
-  InstallAll(manager_->epoch_seq());
+  InstallAll(manager_->epoch_seq(), /*initial=*/true);
   manager_->set_commit_hook(this);
   attached_ = true;
   obs::RuntimeRegistry& runtime = obs::RuntimeRegistry::Global();
@@ -171,14 +171,27 @@ std::shared_ptr<const Snapshot> SnapshotStore::AcquireSlow(
 }
 
 void SnapshotStore::OnEpochCommitted(const ivm::EpochRecord& record) {
-  InstallAll(record.seq);
+  InstallAll(record.seq, /*initial=*/false);
 }
 
-void SnapshotStore::InstallAll(uint64_t seq) {
+void SnapshotStore::InstallAll(uint64_t seq, bool initial) {
   std::vector<std::string> installed;
   std::vector<Retired> released;
   {
     std::lock_guard<std::mutex> lock(retire_mu_);
+    // Out-of-order commit notification: a newer epoch's snapshots are
+    // already live, so installing this one would hand readers stale data
+    // and walk last_committed_seq backwards. Drop it entirely — no head
+    // swaps, no gauges, no event-log lines — so the store's artifacts are
+    // identical to the in-order arrival of the same commits.
+    if (!initial && has_installed_ && seq <= installed_seq_) {
+      if (metrics_ != nullptr && metrics_->enabled()) {
+        metrics_->AddCounter("serve.snapshot.stale_skips");
+      }
+      return;
+    }
+    installed_seq_ = std::max(installed_seq_, seq);
+    has_installed_ = true;
     for (auto& [name, slot] : slots_) {
       Result<const ivm::MaterializedView*> view = manager_->GetView(name);
       if (!view.ok()) continue;  // view dropped since Attach; keep old head

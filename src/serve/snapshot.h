@@ -169,7 +169,16 @@ class SnapshotStore : public ivm::EpochCommitHook {
     std::shared_ptr<const Snapshot> snapshot;
   };
 
-  void InstallAll(uint64_t seq);
+  // `initial` marks the Attach-time install, which always runs (fresh
+  // slots need heads even when the manager's seq was already seen by a
+  // previous attach). Commit-hook installs pass false and are dropped when
+  // `seq` does not advance past installed_seq_: with a pool-threaded
+  // commit pipeline, OnEpochCommitted calls can arrive out of epoch order,
+  // and installing an older epoch over a newer head would publish stale
+  // data to readers *and* regress last_committed_seq. A dropped install
+  // skips everything — heads, gauges, event-log lines — and counts
+  // serve.snapshot.stale_skips.
+  void InstallAll(uint64_t seq, bool initial);
   void FlushRetiredLocked();
   std::string RuntimeSectionJson() const;
   std::shared_ptr<const Snapshot> AcquireSlow(const ViewSlot& slot) const;
@@ -193,6 +202,11 @@ class SnapshotStore : public ivm::EpochCommitHook {
   // never takes it.
   mutable std::mutex retire_mu_;
   std::vector<Retired> retired_;
+  // Monotonicity guard for out-of-order commit notifications (under
+  // retire_mu_): the highest seq ever installed, and whether any install
+  // happened at all (seq 0 is a legal first install at Attach).
+  uint64_t installed_seq_ = 0;
+  bool has_installed_ = false;
 
   // /viewz JSON-section registration with RuntimeRegistry (0 = none).
   // Attach registers, Detach unregisters — and because providers run under

@@ -1,6 +1,7 @@
 #include "tpch/dbgen.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -225,6 +226,68 @@ Result<ivm::SourceDeltas> MakeLineitemInsertsMixed(const Catalog& catalog,
     base.inserts.AddRow(row);
   }
   return updates;
+}
+
+Result<std::vector<ivm::SourceDeltas>> MakeLineitemZipfChurn(
+    const Catalog& catalog, size_t num_batches, size_t rows_per_batch,
+    double theta, uint64_t seed) {
+  if (theta < 0.0) {
+    return Status::InvalidArgument("Zipf theta must be non-negative");
+  }
+  GPIVOT_ASSIGN_OR_RETURN(const Table* lineitem,
+                          catalog.GetTable("lineitem"));
+  const size_t n = lineitem->num_rows();
+  if (n == 0) {
+    return Status::InvalidArgument("Zipf churn needs a non-empty lineitem");
+  }
+  rows_per_batch = std::min(rows_per_batch, n);
+  const size_t qn = lineitem->schema().ColumnIndexOrDie("quantity");
+  const size_t ep = lineitem->schema().ColumnIndexOrDie("extendedprice");
+
+  // Inverse-CDF sampling over the rank weights 1/(r+1)^theta: one cumulative
+  // prefix up front, one Real draw + binary search per sample.
+  std::vector<double> cumulative(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += theta == 0.0 ? 1.0
+                          : 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cumulative[r] = total;
+  }
+
+  // Evolving row state: batch N's delete must name the version batches
+  // 0..N-1 left behind, not the catalog's original row.
+  std::vector<Row> current(lineitem->rows().begin(), lineitem->rows().end());
+
+  Rng rng(seed);
+  std::vector<ivm::SourceDeltas> batches;
+  batches.reserve(num_batches);
+  for (size_t b = 0; b < num_batches; ++b) {
+    ivm::Delta delta = ivm::Delta::Empty(lineitem->schema());
+    std::unordered_set<size_t> touched;
+    touched.reserve(rows_per_batch);
+    while (touched.size() < rows_per_batch) {
+      const double draw = rng.Real(0.0, total);
+      const size_t position = static_cast<size_t>(
+          std::lower_bound(cumulative.begin(), cumulative.end(), draw) -
+          cumulative.begin());
+      const size_t clamped = std::min(position, n - 1);
+      // Keys within one batch must be distinct (ValidateDeltas rejects
+      // duplicate insert keys); re-draws of a hot row land in later
+      // batches instead.
+      if (!touched.insert(clamped).second) continue;
+      Row& row = current[clamped];
+      delta.deletes.AddRow(row);
+      Row mutated = row;
+      mutated[qn] = Value::Int(rng.Int(1, 50));
+      mutated[ep] = Value::Int(rng.Int(1000, 105000));
+      delta.inserts.AddRow(mutated);
+      row = std::move(mutated);
+    }
+    ivm::SourceDeltas deltas;
+    deltas.emplace("lineitem", std::move(delta));
+    batches.push_back(std::move(deltas));
+  }
+  return batches;
 }
 
 }  // namespace gpivot::tpch

@@ -1,0 +1,61 @@
+#include "util/shard_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace gpivot {
+
+void RunSharded(const ExecContext& ctx, size_t n,
+                const std::function<void(size_t)>& fn) {
+  size_t workers = std::min(ctx.num_threads, n);
+  obs::MetricsRegistry& pool_metrics = obs::MetricsRegistry::Global();
+  if (pool_metrics.enabled()) {
+    pool_metrics.AddCounter("thread_pool.run_sharded.calls");
+  }
+  if (workers <= 1 || ThreadPool::OnWorkerThread()) {
+    if (pool_metrics.enabled()) {
+      pool_metrics.AddCounter("thread_pool.run_sharded.inline_calls");
+    }
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (pool_metrics.enabled()) {
+    pool_metrics.AddCounter("thread_pool.run_sharded.workers", workers);
+  }
+  // The claim counter: every worker (pool threads plus the caller) loops
+  // fetch_add-ing the next unclaimed index until the range is exhausted.
+  // relaxed suffices for the claim itself — each index is claimed exactly
+  // once, and the completion handshake below publishes all of fn's writes
+  // to the caller.
+  std::atomic<size_t> next{0};
+  auto drain = [&] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = workers - 1;
+  ThreadPool& pool = ThreadPool::Global();
+  for (size_t t = 1; t < workers; ++t) {
+    pool.Submit([&] {
+      drain();
+      // Notify while holding done_mu: the waiting caller cannot observe
+      // remaining == 0 (and destroy done_cv on return) until this worker
+      // releases the lock, which is after notify_one completes.
+      std::lock_guard<std::mutex> lock(done_mu);
+      --remaining;
+      done_cv.notify_one();
+    });
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace gpivot

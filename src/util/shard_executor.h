@@ -1,0 +1,35 @@
+#ifndef GPIVOT_UTIL_SHARD_EXECUTOR_H_
+#define GPIVOT_UTIL_SHARD_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "util/thread_pool.h"
+
+namespace gpivot {
+
+// Work-stealing task executor for shard-shaped work: runs fn(i) for every
+// i in [0, n), with up to ctx.num_threads workers *dynamically claiming*
+// task indices off a shared atomic counter (the master/worker batch-
+// stealing shape of Bitcoin-lineage CCheckQueue). Unlike ParallelFor's
+// static stripes, a worker that finishes a light shard immediately claims
+// the next one, so one heavy shard cannot serialize the whole batch —
+// exactly the skew case hot-key maintenance shards produce.
+//
+// Determinism contract: which thread runs which index is scheduling-
+// dependent, so fn must confine its writes to per-index state (slot i of a
+// pre-sized result vector, shard i's undo log). Under that discipline the
+// combined result is a pure function of (n, fn) — byte-identical for every
+// thread count — because slots are combined in index order by the caller.
+//
+// Runs inline (plain loop, no pool traffic) when ctx.num_threads <= 1,
+// n <= 1, or when already on a pool worker (same nesting rule as
+// ParallelFor: workers never block on the queue, so no deadlock and no
+// oversubscription). Returns after every index completed. fn must not
+// throw; errors travel through per-index Status slots.
+void RunSharded(const ExecContext& ctx, size_t n,
+                const std::function<void(size_t)>& fn);
+
+}  // namespace gpivot
+
+#endif  // GPIVOT_UTIL_SHARD_EXECUTOR_H_

@@ -274,6 +274,79 @@ TEST(SnapshotStoreTest, HandleLessAcquireTakesLockedSlowPath) {
   EXPECT_EQ(metrics.Snapshot().counters.at("serve.read.locks"), 1u);
 }
 
+TEST(SnapshotStoreTest, OutOfOrderCommitNotificationIsDropped) {
+  // With per-shard commits running on pool threads, OnEpochCommitted calls
+  // can reach the store out of epoch order. An older seq arriving after a
+  // newer one must not move the head, regress last_committed_seq, or emit
+  // install/retire traffic — it only counts serve.snapshot.stale_skips.
+  ViewManager manager = MakePivotManager();
+  obs::MetricsRegistry metrics;
+  metrics.set_enabled(true);
+  SnapshotStore store(&manager, ServeOptions{}, &metrics);
+  ASSERT_OK(store.Attach());
+  ScopedReader reader(&store);
+  ASSERT_OK(manager.ApplyUpdate(ItemsInsert(manager, 2, "Type", "DVD")));
+  ASSERT_OK(manager.ApplyUpdate(ItemsInsert(manager, 2, "Color", "Black")));
+  EXPECT_EQ(store.last_committed_seq(), 2u);
+  std::shared_ptr<const Snapshot> head = store.Acquire("v", reader.get());
+  ASSERT_NE(head, nullptr);
+  uint64_t installs_before =
+      metrics.Snapshot().counters.at("serve.snapshot.installs");
+
+  // Replay epoch 1's notification, as a late pool thread would deliver it.
+  ivm::EpochRecord stale;
+  stale.seq = 1;
+  stale.entry = "apply_update";
+  stale.outcome = "committed";
+  store.OnEpochCommitted(stale);
+
+  EXPECT_EQ(store.last_committed_seq(), 2u) << "stale seq regressed the head";
+  std::shared_ptr<const Snapshot> after = store.Acquire("v", reader.get());
+  EXPECT_EQ(head.get(), after.get()) << "stale install swapped the head";
+  auto counters = metrics.Snapshot().counters;
+  EXPECT_EQ(counters.at("serve.snapshot.stale_skips"), 1u);
+  EXPECT_EQ(counters.at("serve.snapshot.installs"), installs_before)
+      << "a dropped install still published snapshots";
+
+  // A same-seq replay (duplicate notification) is equally stale.
+  ivm::EpochRecord duplicate;
+  duplicate.seq = 2;
+  duplicate.entry = "apply_update";
+  duplicate.outcome = "committed";
+  store.OnEpochCommitted(duplicate);
+  EXPECT_EQ(metrics.Snapshot().counters.at("serve.snapshot.stale_skips"), 2u);
+
+  // The next genuinely newer epoch installs normally.
+  ASSERT_OK(manager.ApplyUpdate(ItemsInsert(manager, 1, "Color", "Gray")));
+  EXPECT_EQ(store.last_committed_seq(), 3u);
+}
+
+TEST(SnapshotStoreTest, ReAttachInstallsEvenAtAnAlreadySeenSeq) {
+  // Attach's install is marked initial: a detach/re-attach cycle at the
+  // same manager seq must refresh the heads (fresh slots have none), not
+  // be dropped by the monotonicity guard.
+  ViewManager manager = MakePivotManager();
+  ASSERT_OK(manager.ApplyUpdate(ItemsInsert(manager, 2, "Type", "DVD")));
+  obs::MetricsRegistry metrics;
+  metrics.set_enabled(true);
+  {
+    SnapshotStore store(&manager, ServeOptions{}, &metrics);
+    ASSERT_OK(store.Attach());
+    EXPECT_EQ(store.last_committed_seq(), 1u);
+    store.Detach();
+    ASSERT_OK(store.Attach());
+    EXPECT_EQ(store.last_committed_seq(), 1u);
+    ScopedReader reader(&store);
+    std::shared_ptr<const Snapshot> snapshot =
+        store.Acquire("v", reader.get());
+    ASSERT_NE(snapshot, nullptr);
+    EXPECT_EQ(snapshot->epoch_seq(), 1u);
+  }
+  EXPECT_EQ(metrics.Snapshot().counters.count("serve.snapshot.stale_skips"),
+            0u)
+      << "re-attach was wrongly treated as a stale commit notification";
+}
+
 // ---- QueryService ---------------------------------------------------------
 
 TEST(QueryServiceTest, PointLookupFindsAndMisses) {

@@ -1,0 +1,304 @@
+// Sharded-maintenance determinism and fault tolerance. The contract under
+// test: a maintenance epoch whose stage AND commit run per-shard in
+// parallel (ShardingOptions, GPIVOT_SHARDS) must leave every observable
+// artifact byte-identical to the serial single-shard path — view rows,
+// base tables, ExecContext-carried counters, EXPLAIN ANALYZE renderings,
+// and the epoch JSONL — for every shard count × thread count combination.
+// Plus: a fault injected at any per-shard stage or commit site must roll
+// the manager back byte-identically (per-shard undo logs replay in reverse
+// commit order within each shard), exactly as the serial sweep guarantees.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ivm/batcher.h"
+#include "ivm/view_manager.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/views.h"
+#include "util/fault_injection.h"
+#include "util/thread_pool.h"
+
+namespace gpivot {
+namespace {
+
+using ivm::RefreshStrategy;
+using ivm::ShardingOptions;
+using ivm::SourceDeltas;
+using ivm::ViewManager;
+
+tpch::Config SmallConfig() {
+  tpch::Config config;
+  config.scale_factor = 0.001;
+  config.seed = 11;
+  return config;
+}
+
+ViewManager MakeThreeViewManager(const tpch::Config& config,
+                                 const ExecContext& ctx,
+                                 size_t num_shards) {
+  Catalog catalog = tpch::MakeCatalog(tpch::Generate(config)).value();
+  PlanPtr v1 = tpch::View1(catalog, config.max_line_numbers).value();
+  PlanPtr v2 = tpch::View2(catalog, config.max_line_numbers, 30000.0).value();
+  PlanPtr v3 =
+      tpch::View3(catalog, config.first_year, config.num_years).value();
+  ViewManager manager(std::move(catalog));
+  manager.set_exec_context(ctx);
+  ShardingOptions sharding;
+  sharding.num_shards = num_shards;
+  manager.set_sharding(sharding);
+  EXPECT_TRUE(manager.DefineView("v1", v1, RefreshStrategy::kUpdate).ok());
+  EXPECT_TRUE(
+      manager.DefineView("v2", v2, RefreshStrategy::kCombinedSelect).ok());
+  EXPECT_TRUE(
+      manager.DefineView("v3", v3, RefreshStrategy::kCombinedGroupBy).ok());
+  return manager;
+}
+
+// Everything a sharded epoch is allowed to affect, captured as comparable
+// bytes. Counters come from a per-run registry carried by the ExecContext:
+// the work-stealing executor's own noise (thread_pool.run_sharded.*) goes
+// to the global registry only, so this snapshot must be a pure function of
+// the workload.
+struct EpochArtifacts {
+  std::map<std::string, std::vector<Row>> view_rows;
+  std::map<std::string, size_t> base_rows;
+  std::map<std::string, uint64_t> counters;
+  std::string explain_json;
+  std::string explain_text;
+  std::string event_log_bytes;
+};
+
+EpochArtifacts RunShardedEpoch(size_t num_shards, size_t threads) {
+  std::string log_path = ::testing::TempDir() + "/gpivot_shard_det_" +
+                         std::to_string(num_shards) + "_" +
+                         std::to_string(threads) + ".jsonl";
+  std::remove(log_path.c_str());
+  obs::EventLog log(log_path);
+  EXPECT_TRUE(log.ok()) << log.error();
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  ExecContext ctx;
+  ctx.num_threads = threads;
+  ctx.min_parallel_rows = 1;  // force parallel paths on the tiny tables
+  ctx.metrics = &registry;
+  tpch::Config config = SmallConfig();
+  ViewManager manager = MakeThreeViewManager(config, ctx, num_shards);
+  manager.set_event_log(&log);
+  SourceDeltas deltas =
+      tpch::MakeLineitemInsertsMixed(manager.catalog(), config, 0.05, 42)
+          .value();
+  registry.Reset();
+  EXPECT_TRUE(manager.ApplyUpdate(deltas).ok());
+  EXPECT_TRUE(manager.Audit().ok());
+  EpochArtifacts artifacts;
+  artifacts.counters = registry.Snapshot().counters;
+  for (const std::string& name : manager.catalog().TableNames()) {
+    artifacts.base_rows[name] =
+        manager.catalog().GetTable(name).value()->num_rows();
+  }
+  for (const char* name : {"v1", "v2", "v3"}) {
+    artifacts.view_rows[name] = manager.GetView(name).value()->table().rows();
+    CostReport report = manager.ExplainAnalyze(name).value();
+    artifacts.explain_json += report.ToJsonLine() + "\n";
+    artifacts.explain_text += report.ToText();
+  }
+  std::ifstream in(log_path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  artifacts.event_log_bytes = buffer.str();
+  std::remove(log_path.c_str());
+  return artifacts;
+}
+
+TEST(ShardedMaintenanceTest, ArtifactsByteIdenticalAcrossShardCounts) {
+  EpochArtifacts reference = RunShardedEpoch(/*num_shards=*/1, /*threads=*/1);
+  ASSERT_FALSE(reference.counters.empty());
+  ASSERT_EQ(reference.counters.count("ivm.merge.updates"), 1u);
+  ASSERT_NE(reference.event_log_bytes.find("\"outcome\": \"committed\""),
+            std::string::npos)
+      << reference.event_log_bytes;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      if (shards == 1 && threads == 1) continue;  // the reference itself
+      EpochArtifacts other = RunShardedEpoch(shards, threads);
+      EXPECT_EQ(reference.view_rows, other.view_rows)
+          << "view rows depend on sharding (shards=" << shards
+          << ", threads=" << threads << ")";
+      EXPECT_EQ(reference.base_rows, other.base_rows)
+          << "base tables depend on sharding (shards=" << shards
+          << ", threads=" << threads << ")";
+      EXPECT_EQ(reference.counters, other.counters)
+          << "counters depend on sharding (shards=" << shards
+          << ", threads=" << threads << ")";
+      EXPECT_EQ(reference.explain_json, other.explain_json)
+          << "EXPLAIN JSON depends on sharding (shards=" << shards
+          << ", threads=" << threads << ")";
+      EXPECT_EQ(reference.explain_text, other.explain_text);
+      EXPECT_EQ(reference.event_log_bytes, other.event_log_bytes)
+          << "epoch JSONL depends on sharding (shards=" << shards
+          << ", threads=" << threads << ")";
+    }
+  }
+}
+
+// A batched flush through the heavy/light classifier must net to the same
+// refreshed views as the uniform single-shard path. Shard count and thread
+// count are pure scheduling and must be byte-invisible (position-sensitive
+// row equality). The classifier threshold legitimately changes the net
+// delta's *emission order* (heavy rows emit after the general bag), so
+// across thresholds the committed views are bag-equal, and within one
+// threshold they are byte-identical at every shard/thread combination.
+TEST(ShardedMaintenanceTest, ZipfChurnFlushIdenticalAcrossConfigs) {
+  tpch::Config config = SmallConfig();
+  auto run = [&](size_t num_shards, size_t threshold, size_t threads) {
+    ExecContext ctx;
+    ctx.num_threads = threads;
+    ctx.min_parallel_rows = 1;
+    ViewManager manager = MakeThreeViewManager(config, ctx, num_shards);
+    auto batches = tpch::MakeLineitemZipfChurn(manager.catalog(),
+                                               /*num_batches=*/6,
+                                               /*rows_per_batch=*/40,
+                                               /*theta=*/1.1, /*seed=*/42);
+    EXPECT_TRUE(batches.ok()) << batches.status().ToString();
+    ivm::BatcherOptions options;
+    options.heavy_key_threshold = threshold;
+    ivm::DeltaBatcher batcher(&manager, options);
+    for (const SourceDeltas& batch : *batches) {
+      EXPECT_TRUE(batcher.Ingest(batch).ok());
+    }
+    EXPECT_TRUE(batcher.Flush().ok());
+    EXPECT_TRUE(manager.Audit().ok());
+    std::map<std::string, Table> views;
+    for (const char* name : {"v1", "v2", "v3"}) {
+      views.emplace(name, manager.GetView(name).value()->table());
+    }
+    return views;
+  };
+  auto expect_byte_identical = [](const std::map<std::string, Table>& want,
+                                  const std::map<std::string, Table>& got,
+                                  size_t shards, size_t threshold,
+                                  size_t threads) {
+    for (const auto& [name, table] : want) {
+      EXPECT_EQ(table.rows(), got.at(name).rows())
+          << "view '" << name << "' depends on scheduling (shards=" << shards
+          << ", threshold=" << threshold << ", threads=" << threads << ")";
+    }
+  };
+  auto uniform = run(/*num_shards=*/1, /*threshold=*/0, /*threads=*/1);
+  ASSERT_GT(uniform.at("v1").num_rows(), 0u);
+  auto classified = run(/*num_shards=*/1, /*threshold=*/2, /*threads=*/1);
+  // Across thresholds: same committed bag, order free.
+  for (const auto& [name, table] : uniform) {
+    EXPECT_TRUE(testing::BagEqual(table, classified.at(name)))
+        << "view '" << name << "' net diverged under the classifier";
+  }
+  // Within each threshold: shard count and threads are byte-invisible.
+  for (size_t shards : {size_t{2}, size_t{4}, size_t{7}}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      expect_byte_identical(uniform, run(shards, 0, threads), shards, 0,
+                            threads);
+      expect_byte_identical(classified, run(shards, 2, threads), shards, 2,
+                            threads);
+    }
+  }
+}
+
+// Fault sweep at 4 shards × 4 threads: arm the n-th fault poke for
+// escalating n until an epoch survives. The armed poke may land in any
+// per-shard stage task, the per-shard commit site
+// ("ExecuteMergePlan::shard-commit"), the structural tail
+// ("ExecuteMergePlan::structural-commit"), or a cross-view boundary — in
+// every case the epoch must report the injected fault and restore every
+// base table and view byte-for-byte.
+TEST(ShardedMaintenanceTest, FaultSweepRollsBackExactlyAtEveryShardSite) {
+  tpch::Config config = SmallConfig();
+  ExecContext ctx;
+  ctx.num_threads = 4;
+  ctx.min_parallel_rows = 1;
+  ViewManager manager = MakeThreeViewManager(config, ctx, /*num_shards=*/4);
+  SourceDeltas deltas =
+      tpch::MakeLineitemDeletes(manager.catalog(), 0.05, 42).value();
+
+  std::vector<std::pair<std::string, std::vector<Row>>> before;
+  for (const std::string& name : manager.catalog().TableNames()) {
+    before.emplace_back(name,
+                        manager.catalog().GetTable(name).value()->rows());
+  }
+  for (const char* name : {"v1", "v2", "v3"}) {
+    before.emplace_back(name, manager.GetView(name).value()->table().rows());
+  }
+  auto expect_rolled_back = [&](size_t n) {
+    for (const auto& [name, rows] : before) {
+      auto table = manager.catalog().GetTable(name);
+      const std::vector<Row>& now =
+          table.ok() ? (*table)->rows()
+                     : manager.GetView(name).value()->table().rows();
+      EXPECT_EQ(rows, now) << "'" << name
+                           << "' not byte-identical after rollback at point #"
+                           << n;
+    }
+  };
+
+  FaultInjector& injector = FaultInjector::Global();
+  size_t points_hit = 0;
+  for (size_t n = 1;; ++n) {
+    injector.Arm(n);
+    Status st = manager.ApplyUpdate(deltas);
+    bool fired = injector.fired();
+    injector.Disarm();
+    if (st.ok()) {
+      EXPECT_FALSE(fired);
+      break;
+    }
+    ASSERT_TRUE(fired) << "non-injected failure at n=" << n << ": "
+                       << st.ToString();
+    EXPECT_NE(st.message().find("injected fault"), std::string::npos)
+        << st.ToString();
+    points_hit = n;
+    expect_rolled_back(n);
+    ASSERT_OK(manager.Audit());
+  }
+  EXPECT_GE(points_hit, 6u) << "fault sweep covered suspiciously few points";
+  ASSERT_OK(manager.Audit());
+
+  // After the sweep the committed state must match a clean serial apply.
+  ViewManager serial = MakeThreeViewManager(config, ExecContext{}, 1);
+  ASSERT_OK(serial.ApplyUpdate(deltas));
+  for (const char* name : {"v1", "v2", "v3"}) {
+    EXPECT_EQ(serial.GetView(name).value()->table().rows(),
+              manager.GetView(name).value()->table().rows())
+        << "post-sweep commit of '" << name << "' differs from serial";
+  }
+}
+
+TEST(ShardedMaintenanceTest, ShardingOptionsFromEnvStrictParse) {
+  ::unsetenv("GPIVOT_SHARDS");
+  auto unset = ShardingOptions::FromEnv();
+  ASSERT_TRUE(unset.ok());
+  EXPECT_EQ(unset->num_shards, 1u);
+
+  ::setenv("GPIVOT_SHARDS", "7", 1);
+  auto seven = ShardingOptions::FromEnv();
+  ASSERT_TRUE(seven.ok());
+  EXPECT_EQ(seven->num_shards, 7u);
+
+  for (const char* bad : {"0", "4x", "-1", "3.5"}) {
+    ::setenv("GPIVOT_SHARDS", bad, 1);
+    EXPECT_FALSE(ShardingOptions::FromEnv().ok())
+        << "'" << bad << "' must be rejected, not silently defaulted";
+  }
+  ::unsetenv("GPIVOT_SHARDS");
+}
+
+}  // namespace
+}  // namespace gpivot
